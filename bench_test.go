@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md's per-experiment index). Each BenchmarkE*/BenchmarkA* runs the
+// corresponding experiment's workload and reports the model-cost metrics
+// (cost/LB ratio) alongside wall-clock time; `go test -bench=. -benchmem`
+// regenerates the full set, and cmd/topobench renders the same numbers as
+// tables.
+package topompc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topompc/internal/core/cartesian"
+	"topompc/internal/core/intersect"
+	"topompc/internal/core/sorting"
+	"topompc/internal/dataset"
+	"topompc/internal/exper"
+	"topompc/internal/lowerbound"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// benchExperiment runs a registered experiment once per iteration; the
+// experiment's own verification runs inside.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := exper.Config{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1, row 1.
+func BenchmarkE1SetIntersection(b *testing.B) { benchExperiment(b, "E1") }
+
+// Table 1, row 2.
+func BenchmarkE2CartesianProduct(b *testing.B) { benchExperiment(b, "E2") }
+
+// Table 1, row 3.
+func BenchmarkE3Sorting(b *testing.B) { benchExperiment(b, "E3") }
+
+// Figure 1.
+func BenchmarkE4Figure1Topologies(b *testing.B) { benchExperiment(b, "E4") }
+
+// Figure 2 / Algorithm 3.
+func BenchmarkE5BalancedPartition(b *testing.B) { benchExperiment(b, "E5") }
+
+// Figure 3 / Lemma 4.
+func BenchmarkE6DirectedOrientation(b *testing.B) { benchExperiment(b, "E6") }
+
+// Figure 4 / Lemma 5.
+func BenchmarkE7SquarePacking(b *testing.B) { benchExperiment(b, "E7") }
+
+// Figure 5 / Theorem 6.
+func BenchmarkE8AdversarialSort(b *testing.B) { benchExperiment(b, "E8") }
+
+// Appendix A.1.
+func BenchmarkE9UnequalCartesian(b *testing.B) { benchExperiment(b, "E9") }
+
+// §1 motivation.
+func BenchmarkE10Baselines(b *testing.B) { benchExperiment(b, "E10") }
+
+// Ablations.
+func BenchmarkA1WeightedHashing(b *testing.B)     { benchExperiment(b, "A1") }
+func BenchmarkA2BalancedPartition(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkA3ProportionalRouting(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkA4Pow2Rounding(b *testing.B)        { benchExperiment(b, "A4") }
+
+// Extensions (beyond the paper).
+func BenchmarkX1Aggregation(b *testing.B) { benchExperiment(b, "X1") }
+func BenchmarkX2EquiJoin(b *testing.B)    { benchExperiment(b, "X2") }
+
+// --- Protocol micro-benchmarks with cost/LB metrics -----------------------
+
+func benchTopo(b *testing.B) *topology.Tree {
+	t, err := topology.TwoTier([]int{4, 4, 4}, []float64{4, 2, 1}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func BenchmarkProtocolTreeIntersect(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			tr := benchTopo(b)
+			rng := rand.New(rand.NewSource(1))
+			r, s, err := dataset.SetPair(rng, n/4, 3*n/4, n/20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, _ := dataset.SplitZipf(rng, r, tr.NumCompute(), 1.2)
+			ps, _ := dataset.SplitZipf(rng, s, tr.NumCompute(), 1.2)
+			lb := lowerbound.Intersection(tr, benchLoads(tr, pr, ps), int64(n/4), int64(3*n/4))
+			b.ResetTimer()
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := intersect.Tree(tr, pr, ps, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = netsim.Ratio(res.Report.TotalCost(), lb.Value)
+			}
+			b.ReportMetric(ratio, "cost/LB")
+			b.ReportMetric(float64(n)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e9, "elems/s")
+		})
+	}
+}
+
+func BenchmarkProtocolTreeCartesian(b *testing.B) {
+	for _, half := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("half=%d", half), func(b *testing.B) {
+			tr := benchTopo(b)
+			rng := rand.New(rand.NewSource(2))
+			r := dataset.Distinct(rng, half)
+			s := dataset.Distinct(rng, half)
+			pr, _ := dataset.SplitUniform(r, tr.NumCompute())
+			ps, _ := dataset.SplitUniform(s, tr.NumCompute())
+			lb := lowerbound.Cartesian(tr, benchLoads(tr, pr, ps))
+			b.ResetTimer()
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := cartesian.Tree(tr, pr, ps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = netsim.Ratio(res.Report.TotalCost(), lb.Value)
+			}
+			b.ReportMetric(ratio, "cost/LB")
+		})
+	}
+}
+
+func BenchmarkProtocolWTS(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			tr := benchTopo(b)
+			rng := rand.New(rand.NewSource(3))
+			keys := dataset.Distinct(rng, n)
+			data, _ := dataset.SplitZipf(rng, keys, tr.NumCompute(), 1.0)
+			lb := lowerbound.Sorting(tr, benchLoads(tr, data))
+			b.ResetTimer()
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := sorting.WTS(tr, data, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = netsim.Ratio(res.Report.TotalCost(), lb.Value)
+			}
+			b.ReportMetric(ratio, "cost/LB")
+		})
+	}
+}
+
+func BenchmarkSubstrateSteiner(b *testing.B) {
+	tr := benchTopo(b)
+	sc := topology.NewSteinerScratch(tr)
+	vs := tr.ComputeNodes()
+	dsts := []topology.NodeID{vs[3], vs[7], vs[11]}
+	var buf []topology.EdgeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.Steiner(buf[:0], sc, vs[0], dsts)
+	}
+}
+
+func BenchmarkSubstratePackLemma5(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	sides := make([]int64, 64)
+	owners := make([]topology.NodeID, 64)
+	for i := range sides {
+		sides[i] = int64(1) << uint(rng.Intn(10))
+		owners[i] = topology.NodeID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cartesian.PackLemma5(sides, owners); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateBalancedPartition(b *testing.B) {
+	tr := benchTopo(b)
+	loads := make(topology.Loads, tr.NumNodes())
+	for i, v := range tr.ComputeNodes() {
+		loads[v] = int64(100 + i*37)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := intersect.BalancedPartition(tr, loads, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLoads(t *topology.Tree, parts ...dataset.Placement) topology.Loads {
+	loads := make(topology.Loads, t.NumNodes())
+	for i, v := range t.ComputeNodes() {
+		for _, p := range parts {
+			loads[v] += int64(len(p[i]))
+		}
+	}
+	return loads
+}

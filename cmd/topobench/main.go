@@ -1,0 +1,73 @@
+// Command topobench regenerates the paper's tables and figures as markdown
+// or aligned-text tables (the per-experiment index lives in DESIGN.md; the
+// recorded results live in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	topobench -list
+//	topobench -run all -seed 42 -format md
+//	topobench -run E1,E8 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topompc/internal/exper"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed   = flag.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
+		quick  = flag.Bool("quick", false, "reduced sweeps")
+		format = flag.String("format", "text", "output format: text or md")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []exper.Experiment
+	if *run == "all" {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exper.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "topobench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exper.Config{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		if *format == "md" {
+			fmt.Printf("## %s — %s\n\nRegenerates: %s\n\n", e.ID, e.Title, e.Paper)
+		} else {
+			fmt.Printf("### %s — %s  [%s]\n\n", e.ID, e.Title, e.Paper)
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topobench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			if *format == "md" {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command topoviz inspects the structural constructions of the paper for a
+// topology and load vector: the tree itself, the directed tree G†
+// (Figure 3), the minimum-Σw² minimal cover (Theorem 4), the α/β edge
+// classification and balanced partition (Figure 2), and the square packing
+// of the cartesian product (Figure 4).
+//
+// Usage:
+//
+//	topoviz -topo twotier -loads 40,40,40,40,40,40,40,40,40,40,40,40 -sizeR 50
+//	topoviz -topo @cluster.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"topompc/internal/cliutil"
+	"topompc/internal/core/cartesian"
+	"topompc/internal/core/intersect"
+	"topompc/internal/topology"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		loadsCSV = flag.String("loads", "", "comma-separated N_v per compute node (default: 100 each)")
+		sizeR    = flag.Int64("sizeR", 0, "|R| for the α/β classification (default N/4)")
+	)
+	flag.Parse()
+
+	tree, err := cliutil.ParseTopo(*topo)
+	if err != nil {
+		fail(err)
+	}
+
+	sizes := make([]int64, tree.NumCompute())
+	if *loadsCSV == "" {
+		for i := range sizes {
+			sizes[i] = 100
+		}
+	} else {
+		parts := strings.Split(*loadsCSV, ",")
+		if len(parts) != len(sizes) {
+			fail(fmt.Errorf("%d loads for %d compute nodes", len(parts), len(sizes)))
+		}
+		for i, s := range parts {
+			sizes[i], err = strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+	loads, err := tree.ComputeLoads(sizes)
+	if err != nil {
+		fail(err)
+	}
+	total := loads.Total()
+	r := *sizeR
+	if r == 0 {
+		r = total / 4
+	}
+
+	fmt.Println("== topology ==")
+	fmt.Print(tree)
+
+	fmt.Println("\n== G† (Figure 3 / Lemma 4) ==")
+	d := topology.Orient(tree, loads)
+	fmt.Print(d.StringDirected())
+	fmt.Printf("root is compute node: %v\n", d.RootIsCompute())
+
+	if cover, wTilde, ok := d.MinCoverSumSq(); ok {
+		names := make([]string, len(cover))
+		for i, v := range cover {
+			names[i] = tree.Name(v)
+		}
+		fmt.Printf("\n== minimum-Σw² minimal cover (Theorem 4) ==\n{%s}  w̃ = %.3f  cover LB = N/w̃ = %.3f\n",
+			strings.Join(names, ", "), wTilde, float64(total)/wTilde)
+	} else {
+		fmt.Println("\nTheorem 4 does not apply (G† rooted at a compute node); gather is optimal")
+	}
+
+	fmt.Printf("\n== α/β edges for |R| = %d (Figure 2) ==\n", r)
+	classes := intersect.ClassifyEdges(tree, loads, r)
+	cuts := tree.Cuts(loads)
+	for e := topology.EdgeID(0); int(e) < tree.NumEdges(); e++ {
+		a, b := tree.Endpoints(e)
+		cls := "α"
+		if classes[e] == intersect.Beta {
+			cls = "β"
+		}
+		fmt.Printf("  %s—%s: %s (cut min %d)\n", tree.Name(a), tree.Name(b), cls, cuts[e].Min())
+	}
+
+	blocks, err := intersect.BalancedPartition(tree, loads, r)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\n== balanced partition (Algorithm 3 / Definition 1) ==")
+	for i, blk := range blocks {
+		names := make([]string, len(blk))
+		var w int64
+		for j, v := range blk {
+			names[j] = tree.Name(v)
+			w += loads[v]
+		}
+		fmt.Printf("  block %d: {%s}  ΣN_v = %d\n", i+1, strings.Join(names, ", "), w)
+	}
+	if err := intersect.CheckBalanced(tree, loads, r, blocks); err != nil {
+		fmt.Printf("  Definition 1 check: VIOLATED: %v\n", err)
+	} else {
+		fmt.Println("  Definition 1 check: all properties hold")
+	}
+
+	fmt.Println("\n== cartesian square packing (Figure 4 / Algorithm 5) ==")
+	sides := make([]int64, 0, tree.NumCompute())
+	owners := make([]topology.NodeID, 0, tree.NumCompute())
+	for _, v := range tree.ComputeNodes() {
+		// Bandwidth-proportional power-of-two sides, as in §4.2.
+		_, e := tree.Parent(v)
+		side := int64(1)
+		for side < int64(tree.Bandwidth(e)*8) {
+			side <<= 1
+		}
+		sides = append(sides, side)
+		owners = append(owners, v)
+	}
+	placed, covered, err := cartesian.PackLemma5(sides, owners)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  fully covered square: %d×%d\n", covered, covered)
+	for _, p := range placed {
+		fmt.Printf("  %s: %d×%d at (%d, %d)\n", tree.Name(p.Node), p.Side, p.Side, p.X, p.Y)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
+	os.Exit(1)
+}

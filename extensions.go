@@ -1,0 +1,134 @@
+package topompc
+
+import (
+	"topompc/internal/core/aggregate"
+	"topompc/internal/core/join"
+)
+
+// This file exposes the extension tasks built on top of the paper's
+// primitives: group-by aggregation and binary equi-joins. See the
+// internal/core/aggregate and internal/core/join package docs for scope and
+// caveats — no optimality theorems are claimed for these.
+
+// GroupValue is one (group, value) record for aggregation.
+type GroupValue struct {
+	Group uint64
+	Value int64
+}
+
+// AggregateResult is the outcome of a distributed group-by aggregation.
+type AggregateResult struct {
+	// Totals maps every group to its total; each group was produced at
+	// exactly one node.
+	Totals map[uint64]int64
+	// Cost is the execution cost against the exact spanning-groups lower
+	// bound (each partial aggregate costs 2 wire elements).
+	Cost Cost
+}
+
+// Aggregate computes per-group totals with the two-level (rack-combining)
+// strategy: groups are first merged inside the blocks of a balanced
+// partition, then block partials are hashed globally. Two rounds.
+func (c *Cluster) Aggregate(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
+	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
+		return aggregate.TwoLevel(c.t, p, seed)
+	})
+}
+
+// AggregateBaseline computes per-group totals with single-round uniform
+// hashing (no rack combining), for comparison.
+func (c *Cluster) AggregateBaseline(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
+	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
+		return aggregate.Hash(c.t, p, seed)
+	})
+}
+
+func (c *Cluster) aggregateWith(data [][]GroupValue,
+	run func(aggregate.Placement) (*aggregate.Result, error)) (*AggregateResult, error) {
+	if err := c.checkFragments("data", make([][]uint64, len(data))); err != nil {
+		return nil, err
+	}
+	placement := make(aggregate.Placement, len(data))
+	for i, frag := range data {
+		for _, gv := range frag {
+			placement[i] = append(placement[i], aggregate.Pair{Group: gv.Group, Value: gv.Value})
+		}
+	}
+	res, err := run(placement)
+	if err != nil {
+		return nil, err
+	}
+	lb := aggregate.LowerBound(c.t, placement)
+	return &AggregateResult{
+		Totals: res.Totals(),
+		Cost:   costOf(res.Report, lb),
+	}, nil
+}
+
+// Row is one relation row for a join: a join key plus an opaque payload.
+type Row struct {
+	Key     uint64
+	Payload uint64
+}
+
+// JoinResult is the outcome of a distributed equi-join. Pairs are
+// enumerated at the nodes, not materialized centrally.
+type JoinResult struct {
+	// Pairs is the total number of joined output pairs.
+	Pairs int64
+	// PairsPerNode is the per-node share of the output.
+	PairsPerNode []int64
+	// Cost is the execution cost in wire elements (2 per tuple). No lower
+	// bound is claimed for joins; LowerBound is 0 and Ratio is +Inf unless
+	// the cost is 0.
+	Cost Cost
+}
+
+// Join computes R ⋈ S on the join key with the topology-aware plan
+// (balanced partition + weighted in-block hashing; the smaller relation's
+// key-groups are replicated across blocks). One round.
+func (c *Cluster) Join(r, s [][]Row, seed uint64) (*JoinResult, error) {
+	return c.joinWith(r, s, func(pr, ps join.Placement) (*join.Result, error) {
+		return join.Tree(c.t, pr, ps, seed)
+	})
+}
+
+// JoinBaseline computes R ⋈ S with the topology-oblivious uniform hash
+// join, for comparison.
+func (c *Cluster) JoinBaseline(r, s [][]Row, seed uint64) (*JoinResult, error) {
+	return c.joinWith(r, s, func(pr, ps join.Placement) (*join.Result, error) {
+		return join.UniformHash(c.t, pr, ps, seed)
+	})
+}
+
+func (c *Cluster) joinWith(r, s [][]Row,
+	run func(join.Placement, join.Placement) (*join.Result, error)) (*JoinResult, error) {
+	if err := c.checkFragments("r", make([][]uint64, len(r))); err != nil {
+		return nil, err
+	}
+	if err := c.checkFragments("s", make([][]uint64, len(s))); err != nil {
+		return nil, err
+	}
+	conv := func(in [][]Row) join.Placement {
+		out := make(join.Placement, len(in))
+		for i, frag := range in {
+			for _, row := range frag {
+				out[i] = append(out[i], join.Tuple{Key: row.Key, Payload: row.Payload})
+			}
+		}
+		return out
+	}
+	res, err := run(conv(r), conv(s))
+	if err != nil {
+		return nil, err
+	}
+	return &JoinResult{
+		Pairs:        res.TotalPairs(),
+		PairsPerNode: res.PerNode,
+		Cost: Cost{
+			Rounds:   res.Report.NumRounds(),
+			Cost:     res.Report.TotalCost(),
+			Elements: res.Report.TotalElements(),
+		},
+	}, nil
+}

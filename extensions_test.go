@@ -1,0 +1,113 @@
+package topompc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClusterAggregate(t *testing.T) {
+	c, err := TwoTierCluster([]int{3, 3}, []float64{1, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p := c.NumNodes()
+	data := make([][]GroupValue, p)
+	want := map[uint64]int64{}
+	for i := 0; i < p; i++ {
+		for j := 0; j < 200; j++ {
+			g := uint64(rng.Intn(40))
+			v := int64(rng.Intn(100))
+			data[i] = append(data[i], GroupValue{Group: g, Value: v})
+			want[g] += v
+		}
+	}
+	res, err := c.Aggregate(data, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Totals) != len(want) {
+		t.Fatalf("%d groups, want %d", len(res.Totals), len(want))
+	}
+	for g, v := range want {
+		if res.Totals[g] != v {
+			t.Fatalf("group %d total %d, want %d", g, res.Totals[g], v)
+		}
+	}
+	if res.Cost.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Cost.Rounds)
+	}
+
+	base, err := c.AggregateBaseline(data, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, v := range want {
+		if base.Totals[g] != v {
+			t.Fatalf("baseline group %d total %d, want %d", g, base.Totals[g], v)
+		}
+	}
+	if base.Cost.Rounds != 1 {
+		t.Errorf("baseline rounds = %d, want 1", base.Cost.Rounds)
+	}
+}
+
+func TestClusterAggregateMismatch(t *testing.T) {
+	c, _ := StarCluster([]float64{1, 1})
+	if _, err := c.Aggregate(make([][]GroupValue, 3), 1); err == nil {
+		t.Error("expected fragment count error")
+	}
+}
+
+func TestClusterJoin(t *testing.T) {
+	c, err := StarCluster([]float64{2, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	p := c.NumNodes()
+	r := make([][]Row, p)
+	s := make([][]Row, p)
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(p)
+		r[n] = append(r[n], Row{Key: uint64(rng.Intn(50)), Payload: rng.Uint64()})
+	}
+	for i := 0; i < 800; i++ {
+		n := rng.Intn(p)
+		s[n] = append(s[n], Row{Key: uint64(rng.Intn(50)), Payload: rng.Uint64()})
+	}
+	res, err := c.Join(r, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.JoinBaseline(r, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != base.Pairs {
+		t.Errorf("aware emits %d pairs, baseline %d", res.Pairs, base.Pairs)
+	}
+	if res.Pairs == 0 {
+		t.Error("join produced no pairs on overlapping key space")
+	}
+	if res.Cost.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Cost.Rounds)
+	}
+	var perNode int64
+	for _, n := range res.PairsPerNode {
+		perNode += n
+	}
+	if perNode != res.Pairs {
+		t.Errorf("per-node sum %d != total %d", perNode, res.Pairs)
+	}
+}
+
+func TestClusterJoinMismatch(t *testing.T) {
+	c, _ := StarCluster([]float64{1, 1})
+	if _, err := c.Join(make([][]Row, 1), make([][]Row, 2), 1); err == nil {
+		t.Error("expected fragment count error for r")
+	}
+	if _, err := c.Join(make([][]Row, 2), make([][]Row, 5), 1); err == nil {
+		t.Error("expected fragment count error for s")
+	}
+}

@@ -1,0 +1,91 @@
+// Package cliutil holds the small shared helpers of the command-line
+// tools: textual topology specs and placement selection.
+package cliutil
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"topompc/internal/dataset"
+	"topompc/internal/topology"
+)
+
+// ParseTopo resolves a topology argument:
+//
+//	star:PxW      star with P compute nodes, bandwidth W each
+//	twotier       4+4+4 nodes behind 4/2/1 uplinks
+//	fattree       2-level fanout-3 fat tree
+//	caterpillar   5-spine caterpillar
+//	@file.json    a topology.Spec JSON file
+func ParseTopo(spec string) (*topology.Tree, error) {
+	switch {
+	case strings.HasPrefix(spec, "@"):
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		return topology.ParseJSON(data)
+	case strings.HasPrefix(spec, "star:"):
+		parts := strings.SplitN(spec[5:], "x", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("star spec must be star:PxW, got %q", spec)
+		}
+		p, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("star spec %q: %w", spec, err)
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("star spec %q: %w", spec, err)
+		}
+		return topology.UniformStar(p, w)
+	case spec == "twotier":
+		return topology.TwoTier([]int{4, 4, 4}, []float64{4, 2, 1}, 8)
+	case spec == "fattree":
+		return topology.FatTree(2, 3, 2, 3)
+	case spec == "caterpillar":
+		return topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec)
+	}
+}
+
+// PlaceFunc splits keys over p nodes.
+type PlaceFunc func(rng *rand.Rand, keys []uint64, p int) (dataset.Placement, error)
+
+// Placer resolves a placement name: uniform, zipf, oneheavy, single.
+// Unknown names fall back to uniform.
+func Placer(name string, seed int64) PlaceFunc {
+	switch name {
+	case "zipf":
+		return func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitZipf(rand.New(rand.NewSource(seed)), k, p, 1.2)
+		}
+	case "oneheavy":
+		return func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitOneHeavy(k, p, 0, 0.8)
+		}
+	case "single":
+		return func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitSingle(k, p, 0)
+		}
+	default:
+		return func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitUniform(k, p)
+		}
+	}
+}
+
+// Loads builds the N_v vector for any number of placements.
+func Loads(t *topology.Tree, parts ...dataset.Placement) topology.Loads {
+	l := make(topology.Loads, t.NumNodes())
+	for i, v := range t.ComputeNodes() {
+		for _, p := range parts {
+			l[v] += int64(len(p[i]))
+		}
+	}
+	return l
+}

@@ -1,0 +1,264 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// genData builds pairs with the given number of groups; groupSkew places a
+// fraction of all pairs in rack-local groups.
+func genData(rng *rand.Rand, p, pairsPerNode, groups int) Placement {
+	data := make(Placement, p)
+	for i := range data {
+		for j := 0; j < pairsPerNode; j++ {
+			data[i] = append(data[i], Pair{
+				Group: uint64(rng.Intn(groups)),
+				Value: int64(rng.Intn(100)),
+			})
+		}
+	}
+	return data
+}
+
+func TestReferenceAndVerify(t *testing.T) {
+	data := Placement{
+		{{Group: 1, Value: 5}, {Group: 2, Value: 3}},
+		{{Group: 1, Value: 7}},
+	}
+	want := Reference(data)
+	if want[1] != 12 || want[2] != 3 {
+		t.Fatalf("reference = %v", want)
+	}
+	good := &Result{PerNode: []map[uint64]int64{{1: 12}, {2: 3}}}
+	if err := Verify(data, good); err != nil {
+		t.Errorf("good result rejected: %v", err)
+	}
+	dupe := &Result{PerNode: []map[uint64]int64{{1: 12, 2: 3}, {2: 3}}}
+	if err := Verify(data, dupe); err == nil {
+		t.Error("duplicate emission accepted")
+	}
+	wrong := &Result{PerNode: []map[uint64]int64{{1: 11}, {2: 3}}}
+	if err := Verify(data, wrong); err == nil {
+		t.Error("wrong total accepted")
+	}
+	missing := &Result{PerNode: []map[uint64]int64{{1: 12}, {}}}
+	if err := Verify(data, missing); err == nil {
+		t.Error("missing group accepted")
+	}
+}
+
+func TestLowerBoundByHand(t *testing.T) {
+	// Two nodes, unit star. Groups: 1 on both sides, 2 only left, 3 only
+	// right. Each leaf cut spans exactly one group (group 1).
+	tr, _ := topology.UniformStar(2, 1)
+	data := Placement{
+		{{Group: 1, Value: 1}, {Group: 2, Value: 1}},
+		{{Group: 1, Value: 1}, {Group: 3, Value: 1}},
+	}
+	if got := LowerBound(tr, data); got != 1 {
+		t.Errorf("LB = %v, want 1", got)
+	}
+	// Disjoint groups: nothing must cross.
+	disjoint := Placement{
+		{{Group: 2, Value: 1}},
+		{{Group: 3, Value: 1}},
+	}
+	if got := LowerBound(tr, disjoint); got != 0 {
+		t.Errorf("LB = %v, want 0 for disjoint groups", got)
+	}
+}
+
+func TestStrategiesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	topos := map[string]*topology.Tree{"figure1b": topology.Figure1b()}
+	if tt, err := topology.TwoTier([]int{3, 3}, []float64{1, 2}, 8); err == nil {
+		topos["twotier"] = tt
+	}
+	for name, tr := range topos {
+		t.Run(name, func(t *testing.T) {
+			data := genData(rng, tr.NumCompute(), 200, 50)
+			for _, run := range []struct {
+				name string
+				fn   func() (*Result, error)
+			}{
+				{"hash", func() (*Result, error) { return Hash(tr, data, 7) }},
+				{"twolevel", func() (*Result, error) { return TwoLevel(tr, data, 7) }},
+				{"gather", func() (*Result, error) { return Gather(tr, data, topology.NoNode) }},
+			} {
+				res, err := run.fn()
+				if err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+				if err := Verify(data, res); err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestTwoLevelBeatsHashOnRackLocalGroups(t *testing.T) {
+	// Rack-local groups shared by all nodes of a rack, weak uplinks: Hash
+	// sends one partial per (node, group) across the star; TwoLevel
+	// combines within the rack first.
+	tr, err := topology.TwoTier([]int{4, 4}, []float64{1, 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.NumCompute()
+	data := make(Placement, p)
+	for i := 0; i < p; i++ {
+		rack := i / 4
+		for g := 0; g < 100; g++ {
+			// Every node of the rack contributes to every rack group.
+			data[i] = append(data[i], Pair{Group: uint64(rack*1000 + g), Value: 1})
+		}
+	}
+	hash, err := Hash(tr, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := TwoLevel(tr, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(data, hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(data, two); err != nil {
+		t.Fatal(err)
+	}
+	if two.Report.TotalCost() >= hash.Report.TotalCost() {
+		t.Errorf("twolevel cost %.1f should beat hash cost %.1f on rack-local groups",
+			two.Report.TotalCost(), hash.Report.TotalCost())
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	tr, _ := topology.UniformStar(4, 1)
+	rng := rand.New(rand.NewSource(2))
+	data := genData(rng, 4, 100, 20)
+	h, _ := Hash(tr, data, 1)
+	if h.Report.NumRounds() != 1 {
+		t.Errorf("hash rounds = %d, want 1", h.Report.NumRounds())
+	}
+	tw, _ := TwoLevel(tr, data, 1)
+	if tw.Report.NumRounds() != 2 {
+		t.Errorf("twolevel rounds = %d, want 2", tw.Report.NumRounds())
+	}
+	g, _ := Gather(tr, data, topology.NoNode)
+	if g.Report.NumRounds() != 1 {
+		t.Errorf("gather rounds = %d, want 1", g.Report.NumRounds())
+	}
+}
+
+func TestEmptyAndSingleNode(t *testing.T) {
+	tr, _ := topology.UniformStar(3, 1)
+	empty := make(Placement, 3)
+	res, err := Hash(tr, empty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(empty, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalCost() != 0 {
+		t.Error("empty input should cost nothing")
+	}
+
+	single := Placement{{{Group: 9, Value: 4}}, nil, nil}
+	res, err = TwoLevel(tr, single, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(single, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementMismatch(t *testing.T) {
+	tr, _ := topology.UniformStar(3, 1)
+	if _, err := Hash(tr, make(Placement, 2), 1); err == nil {
+		t.Error("expected placement mismatch error")
+	}
+}
+
+func TestCostAboveLowerBound(t *testing.T) {
+	// Sanity: measured cost of any strategy is at least the spanning-group
+	// bound (it is a true lower bound for this task model).
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 25; iter++ {
+		tr, err := topology.Random(rng, 2+rng.Intn(5), 1+rng.Intn(3), 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := genData(rng, tr.NumCompute(), 50, 10+rng.Intn(40))
+		lb := LowerBound(tr, data)
+		res, err := TwoLevel(tr, data, uint64(iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(data, res); err != nil {
+			t.Fatal(err)
+		}
+		// Partials cost 2 elements (group, value); the LB counts 1 per
+		// group, so compare at half the measured cost plus slack.
+		if res.Report.TotalCost() < lb-1e-9 {
+			t.Fatalf("cost %.1f below the exact lower bound %.1f", res.Report.TotalCost(), lb)
+		}
+	}
+}
+
+func TestQuickAllStrategiesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := topology.Random(rng, 2+rng.Intn(4), 1+rng.Intn(3), 1, 4)
+		if err != nil {
+			return false
+		}
+		data := genData(rng, tr.NumCompute(), 30, 12)
+		want := Reference(data)
+		for _, fn := range []func() (*Result, error){
+			func() (*Result, error) { return Hash(tr, data, uint64(seed)) },
+			func() (*Result, error) { return TwoLevel(tr, data, uint64(seed)) },
+			func() (*Result, error) { return Gather(tr, data, topology.NoNode) },
+		} {
+			res, err := fn()
+			if err != nil {
+				return false
+			}
+			got := res.Totals()
+			if len(got) != len(want) {
+				return false
+			}
+			for g, v := range want {
+				if got[g] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioFinite(t *testing.T) {
+	tr, _ := topology.UniformStar(4, 2)
+	rng := rand.New(rand.NewSource(5))
+	data := genData(rng, 4, 300, 60)
+	res, err := TwoLevel(tr, data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LowerBound(tr, data)
+	r := netsim.Ratio(res.Report.TotalCost(), lb)
+	if r <= 0 || r > 100 {
+		t.Errorf("ratio = %v out of sane range", r)
+	}
+}

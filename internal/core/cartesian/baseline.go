@@ -1,0 +1,77 @@
+package cartesian
+
+import (
+	"fmt"
+	"math"
+
+	"topompc/internal/dataset"
+	"topompc/internal/topology"
+)
+
+// UniformGrid is the topology-oblivious HyperCube baseline (Afrati-Ullman):
+// every node gets the same square side regardless of link bandwidths or
+// data placement — the classic MPC strategy for p symmetric workers. Used
+// as the comparison point for the weighted protocols (experiment E10/A4).
+func UniformGrid(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.sizeR != in.sizeS {
+		return nil, fmt.Errorf("cartesian: UniformGrid requires |R| = |S| (got %d, %d)", in.sizeR, in.sizeS)
+	}
+	if in.sizeR == 0 {
+		return emptyResult(in), nil
+	}
+	n := in.loads.Total()
+	p := len(in.nodes)
+	root := int64(math.Floor(math.Sqrt(float64(p))))
+	if root < 1 {
+		root = 1
+	}
+	side := nextPow2((n + root - 1) / root)
+	sides := make([]int64, p)
+	for i := range sides {
+		sides[i] = side
+	}
+	placed, covered, err := PackLemma5(sides, in.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if covered < in.sizeR {
+		return nil, fmt.Errorf("cartesian: uniform grid covers %d of %d (internal error)", covered, in.sizeR)
+	}
+	return distribute(in, rectsFromPlacement(in, placed), "uniform")
+}
+
+// Gather ships everything to one compute node, which enumerates the whole
+// grid. With target = NoNode the node holding the most data is chosen.
+func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.sizeR == 0 || in.sizeS == 0 {
+		return emptyResult(in), nil
+	}
+	idx := 0
+	if target == topology.NoNode {
+		for i, v := range in.nodes {
+			if in.loads[v] > in.loads[in.nodes[idx]] {
+				idx = i
+			}
+		}
+	} else {
+		found := false
+		for i, v := range in.nodes {
+			if v == target {
+				idx, found = i, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cartesian: target %v is not a compute node", target)
+		}
+	}
+	return gatherRects(in, idx)
+}

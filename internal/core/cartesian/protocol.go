@@ -1,0 +1,203 @@
+package cartesian
+
+import (
+	"fmt"
+	"sort"
+
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Result is the outcome of a cartesian-product protocol.
+type Result struct {
+	// Rects is the grid rectangle enumerated by each compute node (in
+	// ComputeNodes order), clamped to the grid; together they cover it.
+	Rects []Rect
+	// RKeys and SKeys are the R- and S-tuples each node holds after the
+	// round (its own retained tuples included), in global rank order.
+	RKeys [][]uint64
+	SKeys [][]uint64
+	// Report is the cost accounting.
+	Report *netsim.Report
+	// Strategy identifies the routing strategy that ran: "local", "gather",
+	// "whc", "tree" or "unequal".
+	Strategy string
+}
+
+// Pairs returns the number of output pairs each node enumerates.
+func (r *Result) Pairs() int64 {
+	var n int64
+	for _, rect := range r.Rects {
+		n += rect.Area()
+	}
+	return n
+}
+
+// distribute executes the single communication round shared by every
+// strategy: each node multicasts every R-tuple to the nodes whose
+// rectangles cover its global rank (and likewise S-tuples by column).
+// Tuples are batched by the elementary segments of the rectangle
+// boundaries, so each (owner, destination-set) pair costs one multicast and
+// shared links are charged once per element (Steiner accounting).
+func distribute(in *instance, rects []Rect, strategy string) (*Result, error) {
+	if len(rects) != len(in.nodes) {
+		return nil, fmt.Errorf("cartesian: %d rects for %d nodes", len(rects), len(in.nodes))
+	}
+	for i := range rects {
+		rects[i] = rects[i].Clamp(in.sizeR, in.sizeS)
+	}
+	if in.sizeR > 0 && in.sizeS > 0 && !CoversGrid(rects, in.sizeR, in.sizeS) {
+		return nil, fmt.Errorf("cartesian: assigned rectangles do not cover the %d×%d grid", in.sizeR, in.sizeS)
+	}
+
+	xSegs := segments(rects, in.sizeR, func(r Rect) (int64, int64) { return r.X0, r.X1 }, in.nodes)
+	ySegs := segments(rects, in.sizeS, func(r Rect) (int64, int64) { return r.Y0, r.Y1 }, in.nodes)
+
+	e := netsim.NewEngine(in.t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := nodeIndexOf(in.nodes, v)
+		sendAxis(out, xSegs, in.offR[i], in.r[i], netsim.TagR)
+		sendAxis(out, ySegs, in.offS[i], in.s[i], netsim.TagS)
+	})
+	rd.Finish()
+
+	res := &Result{
+		Rects:    rects,
+		RKeys:    make([][]uint64, len(in.nodes)),
+		SKeys:    make([][]uint64, len(in.nodes)),
+		Strategy: strategy,
+	}
+	for i, v := range in.nodes {
+		for _, m := range e.Inbox(v) {
+			switch m.Tag {
+			case netsim.TagR:
+				res.RKeys[i] = append(res.RKeys[i], m.Keys...)
+			case netsim.TagS:
+				res.SKeys[i] = append(res.SKeys[i], m.Keys...)
+			}
+		}
+	}
+	res.Report = e.Report()
+	return res, nil
+}
+
+func nodeIndexOf(nodes []topology.NodeID, v topology.NodeID) int {
+	for i, n := range nodes {
+		if n == v {
+			return i
+		}
+	}
+	panic("cartesian: node not found")
+}
+
+// segment is a maximal rank interval whose covering destination set is
+// constant.
+type segment struct {
+	lo, hi int64
+	dsts   []topology.NodeID
+}
+
+// segments slices one grid axis at every rectangle boundary and records the
+// covering node set of each elementary interval.
+func segments(rects []Rect, size int64, axis func(Rect) (int64, int64), nodes []topology.NodeID) []segment {
+	if size == 0 {
+		return nil
+	}
+	cuts := []int64{0, size}
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		lo, hi := axis(r)
+		cuts = append(cuts, max64(lo, 0), min64(hi, size))
+	}
+	sortInt64(cuts)
+	cuts = dedupInt64(cuts)
+	var segs []segment
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if lo >= hi {
+			continue
+		}
+		var dsts []topology.NodeID
+		for j, r := range rects {
+			if r.Empty() {
+				continue
+			}
+			a, b := axis(r)
+			if a <= lo && hi <= b {
+				dsts = append(dsts, nodes[j])
+			}
+		}
+		segs = append(segs, segment{lo: lo, hi: hi, dsts: dsts})
+	}
+	return segs
+}
+
+// sendAxis multicasts one owner's fragment (global ranks [off, off+len))
+// along the precomputed segments.
+func sendAxis(out *netsim.Outbox, segs []segment, off int64, frag []uint64, tag netsim.Tag) {
+	if len(frag) == 0 {
+		return
+	}
+	end := off + int64(len(frag))
+	for _, sg := range segs {
+		lo, hi := max64(sg.lo, off), min64(sg.hi, end)
+		if lo >= hi || len(sg.dsts) == 0 {
+			continue
+		}
+		out.Multicast(sg.dsts, tag, frag[lo-off:hi-off])
+	}
+}
+
+// Verify checks a cartesian-product result: the rectangles cover the grid
+// and every node received exactly the R-rows and S-columns its rectangle
+// spans, which together imply every output pair is enumerated somewhere.
+func Verify(t *topology.Tree, r, s dataset.Placement, res *Result) error {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return err
+	}
+	if in.sizeR == 0 || in.sizeS == 0 {
+		return nil
+	}
+	if !CoversGrid(res.Rects, in.sizeR, in.sizeS) {
+		return fmt.Errorf("cartesian: output rectangles do not cover the grid")
+	}
+	globalR := in.r.Flatten()
+	globalS := in.s.Flatten()
+	for i := range in.nodes {
+		rect := res.Rects[i]
+		if rect.Empty() {
+			if len(res.RKeys[i]) > 0 || len(res.SKeys[i]) > 0 {
+				return fmt.Errorf("cartesian: node %d has an empty rectangle but received data", i)
+			}
+			continue
+		}
+		if err := checkKeys(res.RKeys[i], globalR[rect.X0:rect.X1]); err != nil {
+			return fmt.Errorf("cartesian: node %d R-rows: %w", i, err)
+		}
+		if err := checkKeys(res.SKeys[i], globalS[rect.Y0:rect.Y1]); err != nil {
+			return fmt.Errorf("cartesian: node %d S-cols: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func checkKeys(got, want []uint64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("received %d keys, want %d", len(got), len(want))
+	}
+	a := append([]uint64(nil), got...)
+	b := append([]uint64(nil), want...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("key multiset mismatch at %d", i)
+		}
+	}
+	return nil
+}

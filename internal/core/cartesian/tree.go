@@ -1,0 +1,149 @@
+package cartesian
+
+import (
+	"fmt"
+
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Tree runs the general symmetric-tree cartesian-product protocol of §4.4
+// for |R| = |S| = N/2. It orients the tree into G† (§4.1); if the G† root
+// is a compute node, gathering everything there is optimal, otherwise
+// Algorithm 5 (BalancedPackingTree) sizes a power-of-two square per compute
+// node, the squares are packed hierarchically along G† so every subtree's
+// squares stay contiguous, and a single round distributes the tuples.
+//
+// Theorem 5: the cost matches the larger of the Theorem 3 and Theorem 4
+// lower bounds up to a constant factor.
+func Tree(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.sizeR != in.sizeS {
+		return nil, fmt.Errorf("cartesian: Tree requires |R| = |S| (got %d, %d); the unequal case on general trees is open (§4.5)", in.sizeR, in.sizeS)
+	}
+	if in.sizeR == 0 {
+		return emptyResult(in), nil
+	}
+
+	// Normalize: compute nodes become leaves (§2.1) so that the l-mass of
+	// Algorithm 5 lands exactly on square-bearing nodes.
+	norm, err := normalizeInstance(in)
+	if err != nil {
+		return nil, err
+	}
+	in2 := norm.in
+
+	d := topology.Orient(in2.t, in2.loads)
+	var res *Result
+	if in2.t.IsCompute(d.Root()) {
+		// Gather to the G† root: optimal when the root is a compute node.
+		res, err = gatherRects(in2, nodeIndexOf(in2.nodes, d.Root()))
+	} else {
+		n := in2.loads.Total()
+		dims := balancedPackingTree(d, n)
+		rects, perr := shrinkToFit(in2, func(shift uint) ([]PlacedSquare, error) {
+			side := make(map[topology.NodeID]int64, len(dims.side))
+			for v, l := range dims.l {
+				if in2.t.IsCompute(v) {
+					side[v] = nextPow2F(float64(n>>shift) * l)
+				}
+			}
+			placed, _, err := PackOnTree(d, side)
+			return placed, err
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		res, err = distribute(in2, rects, "tree")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return norm.remap(res), nil
+}
+
+// normalized carries an instance transplanted onto the leaf-normalized
+// tree, plus the mapping needed to express results in the original
+// compute-node order.
+type normalized struct {
+	in     *instance
+	toOrig []int // normalized compute index -> original compute index
+	ident  bool
+}
+
+// normalizeInstance applies EnsureComputeLeaves and re-indexes the
+// placements to the new tree's compute order. The stub links have infinite
+// bandwidth, so costs on the normalized tree equal costs on the original.
+func normalizeInstance(in *instance) (*normalized, error) {
+	t2, m := topology.EnsureComputeLeaves(in.t)
+	if t2 == in.t {
+		return &normalized{in: in, ident: true}, nil
+	}
+	nodes2 := t2.ComputeNodes()
+	idx2 := make(map[topology.NodeID]int, len(nodes2))
+	for j, v := range nodes2 {
+		idx2[v] = j
+	}
+	r2 := make(dataset.Placement, len(nodes2))
+	s2 := make(dataset.Placement, len(nodes2))
+	toOrig := make([]int, len(nodes2))
+	for i := range toOrig {
+		toOrig[i] = -1
+	}
+	for i, v := range in.t.ComputeNodes() {
+		img := m.OldToNew[v]
+		j, ok := idx2[img]
+		if !ok {
+			return nil, fmt.Errorf("cartesian: node %v lost by normalization", v)
+		}
+		r2[j] = in.r[i]
+		s2[j] = in.s[i]
+		toOrig[j] = i
+	}
+	in2, err := newInstance(t2, r2, s2)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the original global rank labeling so rectangle coordinates mean
+	// the same thing on both trees: fragment j keeps the offsets it had at
+	// its original index. Offsets only need to tile [0, size) disjointly.
+	for j, i := range toOrig {
+		if i >= 0 {
+			in2.offR[j] = in.offR[i]
+			in2.offS[j] = in.offS[i]
+		}
+	}
+	return &normalized{in: in2, toOrig: toOrig}, nil
+}
+
+// remap expresses a result on the normalized tree in the original
+// compute-node order.
+func (n *normalized) remap(res *Result) *Result {
+	if n.ident {
+		return res
+	}
+	out := &Result{
+		Rects:    make([]Rect, len(n.toOrig)),
+		RKeys:    make([][]uint64, len(n.toOrig)),
+		SKeys:    make([][]uint64, len(n.toOrig)),
+		Report:   res.Report,
+		Strategy: res.Strategy,
+	}
+	for j, i := range n.toOrig {
+		if i < 0 {
+			continue
+		}
+		out.Rects[i] = res.Rects[j]
+		out.RKeys[i] = res.RKeys[j]
+		out.SKeys[i] = res.SKeys[j]
+	}
+	return out
+}
+
+func emptyReport(t *topology.Tree) *netsim.Report {
+	return netsim.NewEngine(t).Report()
+}

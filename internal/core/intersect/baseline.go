@@ -1,0 +1,116 @@
+package intersect
+
+import (
+	"topompc/internal/dataset"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// UniformHash is the topology-oblivious MPC baseline: a classic distributed
+// hash join that hashes every tuple of both relations uniformly across all
+// compute nodes, ignoring both the topology and the data distribution.
+// Optimal in the MPC model under uniform initial distribution, it can be
+// far from optimal on heterogeneous trees — the comparison is experiment
+// E10 of DESIGN.md.
+func UniformHash(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.size0 == 0 {
+		return in.emptyResult(), nil
+	}
+	weights := make([]float64, len(in.nodes))
+	for i := range weights {
+		weights[i] = 1
+	}
+	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0xbead), weights)
+	if err != nil {
+		return nil, err
+	}
+	idx := in.nodeIndex()
+	e := netsim.NewEngine(t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		parts := []struct {
+			frag []uint64
+			tag  netsim.Tag
+		}{{in.rel0[i], netsim.TagR}, {in.rel1[i], netsim.TagS}}
+		for _, part := range parts {
+			frag, tag := part.frag, part.tag
+			byDst := make(map[topology.NodeID][]uint64)
+			for _, k := range frag {
+				d := in.nodes[chooser.Choose(k)]
+				byDst[d] = append(byDst[d], k)
+			}
+			for _, target := range in.nodes {
+				if keys := byDst[target]; len(keys) > 0 {
+					out.Send(target, tag, keys)
+				}
+			}
+		}
+	})
+	rd.Finish()
+	return finish(e, in, nil), nil
+}
+
+// BroadcastSmaller replicates the smaller relation to every compute node;
+// the larger relation never moves. One round; cost ≥ |R| on every link into
+// a node holding S-data, so it is optimal only when |R| is tiny.
+func BroadcastSmaller(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.size0 == 0 {
+		return in.emptyResult(), nil
+	}
+	idx := in.nodeIndex()
+	all := append([]topology.NodeID(nil), in.nodes...)
+	e := netsim.NewEngine(t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if len(in.rel0[i]) > 0 {
+			out.Multicast(all, netsim.TagR, in.rel0[i])
+		}
+	})
+	rd.Finish()
+	return finish(e, in, func(i int) []uint64 { return in.rel1[i] }), nil
+}
+
+// Gather ships both relations to a single compute node, which computes the
+// intersection locally. With target = NoNode the node holding the most data
+// is chosen (minimizing moved elements).
+func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.size0 == 0 {
+		return in.emptyResult(), nil
+	}
+	if target == topology.NoNode {
+		for _, v := range in.nodes {
+			if target == topology.NoNode || in.loads[v] > in.loads[target] {
+				target = v
+			}
+		}
+	}
+	idx := in.nodeIndex()
+	e := netsim.NewEngine(t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if len(in.rel0[i]) > 0 {
+			out.Send(target, netsim.TagR, in.rel0[i])
+		}
+		if len(in.rel1[i]) > 0 {
+			out.Send(target, netsim.TagS, in.rel1[i])
+		}
+	})
+	rd.Finish()
+	return finish(e, in, nil), nil
+}

@@ -1,0 +1,226 @@
+// Package intersect implements the set-intersection protocols of §3 of the
+// paper: the randomized single-round StarIntersect (Algorithm 1), the
+// general TreeIntersect (Algorithm 2) built on the balanced partition of
+// Algorithm 3, and the topology-oblivious baselines they are compared
+// against.
+//
+// All protocols execute on the netsim engine, so their reported cost is the
+// model cost Σ_i max_e |Y_i(e)|/w_e in elements, directly comparable with
+// the Theorem 1 lower bound computed by package lowerbound.
+package intersect
+
+import (
+	"fmt"
+	"sort"
+
+	"topompc/internal/dataset"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Result is the outcome of a set-intersection protocol.
+type Result struct {
+	// PerNode holds the intersection pairs emitted by each compute node (in
+	// ComputeNodes order); the union over nodes is the full R ∩ S, and a
+	// key may be emitted by more than one node.
+	PerNode [][]uint64
+	// Output is the deduplicated, sorted union of PerNode.
+	Output []uint64
+	// Report is the cost accounting of the execution.
+	Report *netsim.Report
+	// Blocks is the balanced partition used by TreeIntersect (nil for other
+	// protocols).
+	Blocks [][]topology.NodeID
+}
+
+// instance is the validated, orientation-normalized form of an input: rel0
+// is the smaller relation (the paper's R, which gets replicated), rel1 the
+// larger.
+type instance struct {
+	t          *topology.Tree
+	nodes      []topology.NodeID
+	rel0, rel1 dataset.Placement
+	size0      int64 // |R| of the smaller relation
+	size1      int64
+	loads      topology.Loads // N_v = |R_v| + |S_v|
+}
+
+func newInstance(t *topology.Tree, r, s dataset.Placement) (*instance, error) {
+	nodes := t.ComputeNodes()
+	if len(r) != len(nodes) || len(s) != len(nodes) {
+		return nil, fmt.Errorf("intersect: placements cover %d/%d nodes, tree has %d compute nodes",
+			len(r), len(s), len(nodes))
+	}
+	var sizeR, sizeS int64
+	for i := range r {
+		sizeR += int64(len(r[i]))
+		sizeS += int64(len(s[i]))
+	}
+	in := &instance{t: t, nodes: nodes, rel0: r, rel1: s, size0: sizeR, size1: sizeS}
+	if sizeS < sizeR {
+		in.rel0, in.rel1 = s, r
+		in.size0, in.size1 = sizeS, sizeR
+	}
+	loads := make(topology.Loads, t.NumNodes())
+	for i, v := range nodes {
+		loads[v] = int64(len(r[i]) + len(s[i]))
+	}
+	in.loads = loads
+	return in, nil
+}
+
+func (in *instance) nodeIndex() map[topology.NodeID]int {
+	idx := make(map[topology.NodeID]int, len(in.nodes))
+	for i, v := range in.nodes {
+		idx[v] = i
+	}
+	return idx
+}
+
+// emptyResult is returned when either relation is empty: the intersection
+// is empty and no communication is needed.
+func (in *instance) emptyResult() *Result {
+	return &Result{
+		PerNode: make([][]uint64, len(in.nodes)),
+		Report:  netsim.NewEngine(in.t).Report(),
+	}
+}
+
+// finish collects per-node outputs by intersecting the R- and S-keys
+// present at each node after the communication round.
+func finish(e *netsim.Engine, in *instance, extraS func(i int) []uint64) *Result {
+	res := &Result{
+		PerNode: make([][]uint64, len(in.nodes)),
+		Report:  nil,
+	}
+	for i, v := range in.nodes {
+		rSet := make(map[uint64]struct{})
+		for _, m := range e.Inbox(v) {
+			if m.Tag == netsim.TagR {
+				for _, k := range m.Keys {
+					rSet[k] = struct{}{}
+				}
+			}
+		}
+		var out []uint64
+		seen := make(map[uint64]struct{})
+		consider := func(k uint64) {
+			if _, dup := seen[k]; dup {
+				return
+			}
+			seen[k] = struct{}{}
+			if _, ok := rSet[k]; ok {
+				out = append(out, k)
+			}
+		}
+		for _, m := range e.Inbox(v) {
+			if m.Tag == netsim.TagS {
+				for _, k := range m.Keys {
+					consider(k)
+				}
+			}
+		}
+		if extraS != nil {
+			for _, k := range extraS(i) {
+				consider(k)
+			}
+		}
+		sortKeys(out)
+		res.PerNode[i] = out
+	}
+	res.Output = unionSorted(res.PerNode)
+	res.Report = e.Report()
+	return res
+}
+
+func sortKeys(keys []uint64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+func unionSorted(perNode [][]uint64) []uint64 {
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	for _, frag := range perNode {
+		for _, k := range frag {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Reference computes R ∩ S directly (for verification).
+func Reference(r, s dataset.Placement) []uint64 {
+	inR := make(map[uint64]struct{})
+	for _, frag := range r {
+		for _, k := range frag {
+			inR[k] = struct{}{}
+		}
+	}
+	var out []uint64
+	seen := make(map[uint64]struct{})
+	for _, frag := range s {
+		for _, k := range frag {
+			if _, ok := inR[k]; !ok {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Verify checks that the protocol output equals the reference intersection.
+func Verify(r, s dataset.Placement, res *Result) error {
+	want := Reference(r, s)
+	if len(want) != len(res.Output) {
+		return fmt.Errorf("intersect: output has %d keys, want %d", len(res.Output), len(want))
+	}
+	for i := range want {
+		if want[i] != res.Output[i] {
+			return fmt.Errorf("intersect: output mismatch at %d: %d != %d", i, res.Output[i], want[i])
+		}
+	}
+	return nil
+}
+
+// blockChooser hashes keys onto the members of one partition block with
+// probability proportional to their loads (the h_i of Algorithm 2).
+type blockChooser struct {
+	members []topology.NodeID
+	choose  *hashing.WeightedChooser
+}
+
+func newBlockChooser(seed uint64, members []topology.NodeID, loads topology.Loads) (*blockChooser, error) {
+	w := make([]float64, len(members))
+	total := 0.0
+	for i, v := range members {
+		w[i] = float64(loads[v])
+		total += w[i]
+	}
+	if total == 0 {
+		// Degenerate block (possible only when the whole input is empty,
+		// which callers short-circuit); hash uniformly.
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	c, err := hashing.NewWeightedChooser(seed, w)
+	if err != nil {
+		return nil, err
+	}
+	return &blockChooser{members: members, choose: c}, nil
+}
+
+func (b *blockChooser) node(key uint64) topology.NodeID {
+	return b.members[b.choose.Choose(key)]
+}

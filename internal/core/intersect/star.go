@@ -1,0 +1,147 @@
+package intersect
+
+import (
+	"fmt"
+
+	"topompc/internal/dataset"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Star runs StarIntersect (Algorithm 1) on a star topology. Nodes are
+// split into V_α (those with min{N_v, N−N_v} < |R|) and V_β; the shared
+// hash sends a key to v ∈ V_α with probability N_v/N′ and to v ∈ V_β with
+// probability |R_v|/N′, where N′ = |R| + Σ_{v∈V_α} |S_v|. Every R-tuple is
+// multicast to all of V_β plus its hash target; S-tuples of V_α nodes go to
+// their hash target while S-tuples of V_β nodes stay put and meet the full
+// copy of R locally.
+//
+// Lemma 1: the cost is within O(log N · log |V|) of optimal w.h.p.
+func Star(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+	if err := requireStar(t); err != nil {
+		return nil, err
+	}
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.size0 == 0 {
+		return in.emptyResult(), nil
+	}
+	idx := in.nodeIndex()
+	n := in.loads.Total()
+
+	// Partition nodes into V_α and V_β (line 1 of Algorithm 1).
+	var alpha, beta []topology.NodeID
+	isBeta := make(map[topology.NodeID]bool)
+	for _, v := range in.nodes {
+		if min64(in.loads[v], n-in.loads[v]) < in.size0 {
+			alpha = append(alpha, v)
+		} else {
+			beta = append(beta, v)
+			isBeta[v] = true
+		}
+	}
+
+	// Weighted hash over all compute nodes: N_v for α-nodes, |R_v| for
+	// β-nodes (normalization to N′ is implicit in the chooser).
+	weights := make([]float64, len(in.nodes))
+	for i, v := range in.nodes {
+		if isBeta[v] {
+			weights[i] = float64(len(in.rel0[i]))
+		} else {
+			weights[i] = float64(in.loads[v])
+		}
+	}
+	allZero := true
+	for _, w := range weights {
+		if w > 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0x5151), weights)
+	if err != nil {
+		return nil, fmt.Errorf("intersect: %w", err)
+	}
+
+	e := netsim.NewEngine(t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		// R-tuples: multicast each to V_β ∪ {h(a)}. Batch by hash target:
+		// the V_β part of the destination set is shared.
+		byDst := make(map[topology.NodeID][]uint64)
+		for _, k := range in.rel0[i] {
+			d := in.nodes[chooser.Choose(k)]
+			byDst[d] = append(byDst[d], k)
+		}
+		for _, target := range in.nodes {
+			keys := byDst[target]
+			if len(keys) == 0 {
+				continue
+			}
+			dsts := make([]topology.NodeID, 0, len(beta)+1)
+			dsts = append(dsts, beta...)
+			if !isBeta[target] {
+				dsts = append(dsts, target)
+			}
+			out.Multicast(dsts, netsim.TagR, keys)
+		}
+		// S-tuples: only α-nodes rehash theirs (line 4-5).
+		if !isBeta[v] {
+			bySDst := make(map[topology.NodeID][]uint64)
+			for _, k := range in.rel1[i] {
+				d := in.nodes[chooser.Choose(k)]
+				bySDst[d] = append(bySDst[d], k)
+			}
+			for _, target := range in.nodes {
+				if keys := bySDst[target]; len(keys) > 0 {
+					out.Send(target, netsim.TagS, keys)
+				}
+			}
+		}
+	})
+	rd.Finish()
+
+	// β-nodes keep their S fragment locally; feed it into the final
+	// intersection as extra S data.
+	return finish(e, in, func(i int) []uint64 {
+		if isBeta[in.nodes[i]] {
+			return in.rel1[i]
+		}
+		return nil
+	}), nil
+}
+
+func requireStar(t *topology.Tree) error {
+	center := t.Root()
+	if t.IsCompute(center) {
+		return fmt.Errorf("intersect: not a star topology (no central router)")
+	}
+	for _, v := range t.ComputeNodes() {
+		if t.Degree(v) != 1 {
+			return fmt.Errorf("intersect: not a star topology (compute node %v is internal)", v)
+		}
+		p, _ := t.Parent(v)
+		if p != center {
+			return fmt.Errorf("intersect: not a star topology (node %v not adjacent to center)", v)
+		}
+	}
+	if t.NumNodes() != t.NumCompute()+1 {
+		return fmt.Errorf("intersect: not a star topology (extra routers)")
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package intersect
+
+import (
+	"fmt"
+
+	"topompc/internal/dataset"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Tree runs TreeIntersect (Algorithm 2) on an arbitrary symmetric tree: it
+// finds a balanced partition of the compute nodes (Algorithm 3), hashes
+// every tuple of the smaller relation into every block (replication), and
+// hashes every tuple of the larger relation within its own block only —
+// all within a single communication round. The hash h_i of block i sends a
+// key to member v with probability N_v / Σ_{u∈block} N_u.
+//
+// Theorem 2: the cost is within O(log N · log |V|) of the Theorem 1 lower
+// bound with high probability.
+func Tree(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+	return treeWithBlocks(t, r, s, seed, nil)
+}
+
+// TreeNoPartition runs Algorithm 2 with the balanced partition disabled
+// (one global block hashing over all compute nodes). It is correct but
+// loses the per-block locality Theorem 2 relies on; used by the A2
+// ablation.
+func TreeNoPartition(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+	single := [][]topology.NodeID{append([]topology.NodeID(nil), t.ComputeNodes()...)}
+	return treeWithBlocks(t, r, s, seed, single)
+}
+
+func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, blocks [][]topology.NodeID) (*Result, error) {
+	in, err := newInstance(t, r, s)
+	if err != nil {
+		return nil, err
+	}
+	if in.size0 == 0 {
+		return in.emptyResult(), nil
+	}
+	if blocks == nil {
+		blocks, err = BalancedPartition(t, in.loads, in.size0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	choosers := make([]*blockChooser, len(blocks))
+	for i, b := range blocks {
+		choosers[i], err = newBlockChooser(hashing.Mix64(seed+uint64(i)+1), b, in.loads)
+		if err != nil {
+			return nil, fmt.Errorf("intersect: block %d: %w", i, err)
+		}
+	}
+	blockOf := make(map[topology.NodeID]int, len(in.nodes))
+	for i, b := range blocks {
+		for _, v := range b {
+			blockOf[v] = i
+		}
+	}
+
+	idx := in.nodeIndex()
+	e := netsim.NewEngine(t)
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		// Smaller relation: each key goes to one node per block; batch keys
+		// sharing the same destination vector into one multicast.
+		type group struct {
+			dsts []topology.NodeID
+			keys []uint64
+		}
+		groups := make(map[string]*group)
+		var sig []byte
+		for _, k := range in.rel0[i] {
+			sig = sig[:0]
+			var dsts []topology.NodeID
+			for _, c := range choosers {
+				d := c.node(k)
+				dsts = append(dsts, d)
+				sig = append(sig, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+			}
+			g, ok := groups[string(sig)]
+			if !ok {
+				g = &group{dsts: dsts}
+				groups[string(sig)] = g
+			}
+			g.keys = append(g.keys, k)
+		}
+		// Deterministic iteration: order groups by first key insertion via
+		// re-walk of the relation.
+		emitted := make(map[string]bool)
+		for _, k := range in.rel0[i] {
+			sig = sig[:0]
+			for _, c := range choosers {
+				d := c.node(k)
+				sig = append(sig, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+			}
+			if emitted[string(sig)] {
+				continue
+			}
+			emitted[string(sig)] = true
+			g := groups[string(sig)]
+			out.Multicast(g.dsts, netsim.TagR, g.keys)
+		}
+		// Larger relation: hash within the node's own block only.
+		if len(in.rel1[i]) > 0 {
+			c := choosers[blockOf[v]]
+			byDst := make(map[topology.NodeID][]uint64)
+			for _, k := range in.rel1[i] {
+				d := c.node(k)
+				byDst[d] = append(byDst[d], k)
+			}
+			for _, member := range c.members {
+				if keys := byDst[member]; len(keys) > 0 {
+					out.Send(member, netsim.TagS, keys)
+				}
+			}
+		}
+	})
+	rd.Finish()
+
+	res := finish(e, in, nil)
+	res.Blocks = blocks
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topompc/internal/topology"
+)
+
+// genJoin builds relations with controlled key overlap and multiplicities.
+func genJoin(rng *rand.Rand, p, nR, nS, keySpace int) (Placement, Placement) {
+	r := make(Placement, p)
+	s := make(Placement, p)
+	for i := 0; i < nR; i++ {
+		n := rng.Intn(p)
+		r[n] = append(r[n], Tuple{Key: uint64(rng.Intn(keySpace)), Payload: rng.Uint64()})
+	}
+	for i := 0; i < nS; i++ {
+		n := rng.Intn(p)
+		s[n] = append(s[n], Tuple{Key: uint64(rng.Intn(keySpace)), Payload: rng.Uint64()})
+	}
+	return r, s
+}
+
+func TestReferenceSize(t *testing.T) {
+	r := Placement{{{Key: 1, Payload: 10}, {Key: 1, Payload: 11}}, {{Key: 2, Payload: 12}}}
+	s := Placement{{{Key: 1, Payload: 20}}, {{Key: 3, Payload: 21}, {Key: 1, Payload: 22}}}
+	// Key 1: 2 R-tuples × 2 S-tuples = 4; keys 2, 3 unmatched.
+	if got := ReferenceSize(r, s); got != 4 {
+		t.Errorf("reference size = %d, want 4", got)
+	}
+}
+
+func TestTreeJoinCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	topos := map[string]*topology.Tree{"figure1b": topology.Figure1b()}
+	if tt, err := topology.TwoTier([]int{3, 2}, []float64{2, 1}, 4); err == nil {
+		topos["twotier"] = tt
+	}
+	for name, tr := range topos {
+		t.Run(name, func(t *testing.T) {
+			r, s := genJoin(rng, tr.NumCompute(), 300, 900, 100)
+			res, err := Tree(tr, r, s, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(r, s, res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.NumRounds() != 1 {
+				t.Errorf("rounds = %d, want 1", res.Report.NumRounds())
+			}
+		})
+	}
+}
+
+func TestTreeJoinSwappedSides(t *testing.T) {
+	// |S| < |R| exercises the swap path including sample orientation.
+	rng := rand.New(rand.NewSource(2))
+	tr, _ := topology.UniformStar(4, 1)
+	r, s := genJoin(rng, 4, 1200, 100, 50)
+	res, err := Tree(tr, r, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(r, s, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeJoinMultiplicities(t *testing.T) {
+	// Heavy key duplication: key 7 appears 50× in R and 40× in S.
+	tr, _ := topology.UniformStar(3, 1)
+	r := make(Placement, 3)
+	s := make(Placement, 3)
+	for i := 0; i < 50; i++ {
+		r[i%3] = append(r[i%3], Tuple{Key: 7, Payload: uint64(i)})
+	}
+	for i := 0; i < 40; i++ {
+		s[i%3] = append(s[i%3], Tuple{Key: 7, Payload: uint64(1000 + i)})
+	}
+	res, err := Tree(tr, r, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs() != 50*40 {
+		t.Errorf("pairs = %d, want 2000", res.TotalPairs())
+	}
+	if err := Verify(r, s, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeJoinEmpty(t *testing.T) {
+	tr, _ := topology.UniformStar(2, 1)
+	empty := make(Placement, 2)
+	res, err := Tree(tr, empty, empty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs() != 0 || res.Report.TotalCost() != 0 {
+		t.Error("empty join should emit nothing at no cost")
+	}
+}
+
+func TestTreeJoinMismatch(t *testing.T) {
+	tr, _ := topology.UniformStar(3, 1)
+	if _, err := Tree(tr, make(Placement, 2), make(Placement, 3), 1); err == nil {
+		t.Error("expected placement mismatch error")
+	}
+	if _, err := UniformHash(tr, make(Placement, 2), make(Placement, 3), 1); err == nil {
+		t.Error("expected placement mismatch error")
+	}
+}
+
+func TestUniformHashJoinCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := topology.TwoTier([]int{2, 2}, []float64{4, 1}, 4)
+	r, s := genJoin(rng, tr.NumCompute(), 400, 400, 80)
+	res, err := UniformHash(tr, r, s, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(r, s, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeJoinBeatsUniformOnSkewedPlacement(t *testing.T) {
+	// S lives almost entirely in one rack behind a weak uplink; the
+	// topology-aware plan keeps S-groups rack-local.
+	tr, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.NumCompute()
+	rng := rand.New(rand.NewSource(4))
+	r := make(Placement, p)
+	s := make(Placement, p)
+	for i := 0; i < 400; i++ {
+		r[rng.Intn(p)] = append(r[rng.Intn(p)], Tuple{Key: uint64(rng.Intn(200)), Payload: rng.Uint64()})
+	}
+	for i := 0; i < 4000; i++ {
+		n := rng.Intn(4) // fast rack only
+		s[n] = append(s[n], Tuple{Key: uint64(rng.Intn(200)), Payload: rng.Uint64()})
+	}
+	aware, err := Tree(tr, r, s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oblivious, err := UniformHash(tr, r, s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(r, s, aware); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(r, s, oblivious); err != nil {
+		t.Fatal(err)
+	}
+	if aware.Report.TotalCost() >= oblivious.Report.TotalCost() {
+		t.Errorf("aware join cost %.1f should beat oblivious %.1f",
+			aware.Report.TotalCost(), oblivious.Report.TotalCost())
+	}
+}
+
+func TestJoinQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := topology.Random(rng, 2+rng.Intn(5), 1+rng.Intn(3), 1, 4)
+		if err != nil {
+			return false
+		}
+		r, s := genJoin(rng, tr.NumCompute(), 50+rng.Intn(300), 50+rng.Intn(300), 5+rng.Intn(100))
+		res, err := Tree(tr, r, s, uint64(seed))
+		if err != nil {
+			return false
+		}
+		return Verify(r, s, res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCatchesBadPairs(t *testing.T) {
+	r := Placement{{{Key: 1, Payload: 10}}}
+	s := Placement{{{Key: 1, Payload: 20}}}
+	bad := &Result{
+		PerNode: []int64{1},
+		Sample:  [][]Pair{{{Key: 1, X: 99, Y: 20}}}, // X not in R
+	}
+	if err := Verify(r, s, bad); err == nil {
+		t.Error("fabricated R payload accepted")
+	}
+	wrongCount := &Result{PerNode: []int64{2}, Sample: [][]Pair{nil}}
+	if err := Verify(r, s, wrongCount); err == nil {
+		t.Error("wrong pair count accepted")
+	}
+}

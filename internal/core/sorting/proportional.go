@@ -1,0 +1,48 @@
+package sorting
+
+// Proportional implements Algorithm 6: it splits a light node's N_u
+// elements across the k heavy nodes proportionally to their sizes N_{v_i},
+// using a running remainder Δ so that (Lemma 9):
+//
+//  1. every prefix sum is within 1 of the exact proportional share,
+//  2. every range sum exceeds its proportional share by at most 1, and
+//  3. the counts sum to exactly N_u.
+//
+// heavy[i] holds N_{v_i}; the heavy sizes must sum to a positive value.
+func Proportional(heavy []int64, nu int64) []int64 {
+	var total int64
+	for _, h := range heavy {
+		total += h
+	}
+	counts := make([]int64, len(heavy))
+	if total == 0 || nu == 0 {
+		return counts
+	}
+	delta := 0.0
+	for i, h := range heavy {
+		x := float64(h) / float64(total) * float64(nu)
+		floor := float64(int64(x))
+		frac := x - floor
+		if delta >= frac {
+			counts[i] = int64(floor)
+			delta -= frac
+		} else {
+			counts[i] = int64(floor) + 1
+			delta += 1 - frac
+		}
+	}
+	// Guard against floating-point drift on the final slot: the counts must
+	// sum to exactly nu (Lemma 9(3) holds with equality).
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	for i := len(counts) - 1; i >= 0 && sum != nu; i-- {
+		adj := nu - sum
+		if counts[i]+adj >= 0 {
+			counts[i] += adj
+			sum = nu
+		}
+	}
+	return counts
+}

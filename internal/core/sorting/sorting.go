@@ -1,0 +1,190 @@
+// Package sorting implements the distributed sorting protocols of §5 of
+// the paper: weighted TeraSort (wTS), a four-round sampling-based protocol
+// that is within O(1) of the Theorem 6 lower bound with high probability,
+// together with the classic TeraSort and gather baselines.
+//
+// The goal of the task: given a valid left-to-right ordering v_1, …, v_|VC|
+// of the compute nodes (any DFS traversal of the tree), redistribute the
+// input so that every element on v_i precedes every element on v_j for
+// i < j and every node's fragment is locally sorted.
+package sorting
+
+import (
+	"fmt"
+	"sort"
+
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Result is the outcome of a sorting protocol.
+type Result struct {
+	// PerNode is each compute node's final sorted fragment, indexed in
+	// ComputeNodes order.
+	PerNode [][]uint64
+	// Order is the valid left-to-right ordering the output respects.
+	Order []topology.NodeID
+	// Report is the cost accounting.
+	Report *netsim.Report
+	// Strategy identifies the protocol path: "wts", "gather" or "terasort".
+	Strategy string
+}
+
+// instance validates a sorting input.
+type instance struct {
+	t     *topology.Tree
+	nodes []topology.NodeID
+	data  dataset.Placement
+	loads topology.Loads
+	total int64
+}
+
+func newInstance(t *topology.Tree, data dataset.Placement) (*instance, error) {
+	nodes := t.ComputeNodes()
+	if len(data) != len(nodes) {
+		return nil, fmt.Errorf("sorting: placement covers %d nodes, tree has %d compute nodes",
+			len(data), len(nodes))
+	}
+	in := &instance{t: t, nodes: nodes, data: data}
+	loads := make(topology.Loads, t.NumNodes())
+	for i, v := range nodes {
+		loads[v] = int64(len(data[i]))
+		in.total += loads[v]
+	}
+	in.loads = loads
+	return in, nil
+}
+
+func (in *instance) indexOf() map[topology.NodeID]int {
+	idx := make(map[topology.NodeID]int, len(in.nodes))
+	for i, v := range in.nodes {
+		idx[v] = i
+	}
+	return idx
+}
+
+// Verify checks that res is a correct sort of the input: the output is a
+// permutation of the input, every fragment is locally sorted, and fragments
+// respect the left-to-right ordering.
+func Verify(t *topology.Tree, input dataset.Placement, res *Result) error {
+	in, err := newInstance(t, input)
+	if err != nil {
+		return err
+	}
+	if len(res.PerNode) != len(in.nodes) {
+		return fmt.Errorf("sorting: output covers %d nodes, want %d", len(res.PerNode), len(in.nodes))
+	}
+	// Multiset equality.
+	var all, out []uint64
+	for _, frag := range input {
+		all = append(all, frag...)
+	}
+	for _, frag := range res.PerNode {
+		out = append(out, frag...)
+	}
+	if len(all) != len(out) {
+		return fmt.Errorf("sorting: output has %d elements, want %d", len(out), len(all))
+	}
+	sortU64(all)
+	cp := append([]uint64(nil), out...)
+	sortU64(cp)
+	for i := range all {
+		if all[i] != cp[i] {
+			return fmt.Errorf("sorting: output is not a permutation of the input (mismatch at %d)", i)
+		}
+	}
+	// Local sortedness.
+	for i, frag := range res.PerNode {
+		for j := 1; j < len(frag); j++ {
+			if frag[j-1] > frag[j] {
+				return fmt.Errorf("sorting: node %d fragment not sorted at %d", i, j)
+			}
+		}
+	}
+	// Global ordering along res.Order.
+	if len(res.Order) != len(in.nodes) {
+		return fmt.Errorf("sorting: ordering covers %d nodes, want %d", len(res.Order), len(in.nodes))
+	}
+	idx := in.indexOf()
+	last := uint64(0)
+	started := false
+	for _, v := range res.Order {
+		i, ok := idx[v]
+		if !ok {
+			return fmt.Errorf("sorting: ordering contains unknown node %v", v)
+		}
+		frag := res.PerNode[i]
+		if len(frag) == 0 {
+			continue
+		}
+		if started && frag[0] < last {
+			return fmt.Errorf("sorting: node %v starts at %d, before previous node's max %d", v, frag[0], last)
+		}
+		last = frag[len(frag)-1]
+		started = true
+	}
+	return nil
+}
+
+func sortU64(keys []uint64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// gather ships everything to one node (the holder of the most data unless
+// target is given), which sorts locally. Trivially a valid ordering: every
+// other node is empty.
+func gather(in *instance, target int, strategy string) (*Result, error) {
+	e := netsim.NewEngine(in.t)
+	idx := in.indexOf()
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if len(in.data[i]) > 0 {
+			out.Send(in.nodes[target], netsim.TagData, in.data[i])
+		}
+	})
+	rd.Finish()
+	res := &Result{
+		PerNode:  make([][]uint64, len(in.nodes)),
+		Order:    in.t.LeftToRight(),
+		Strategy: strategy,
+	}
+	var final []uint64
+	for _, m := range e.Inbox(in.nodes[target]) {
+		final = append(final, m.Keys...)
+	}
+	sortU64(final)
+	res.PerNode[target] = final
+	res.Report = e.Report()
+	return res, nil
+}
+
+// Gather is the gather-to-one baseline. With target = NoNode the node
+// holding the most data is chosen.
+func Gather(t *topology.Tree, data dataset.Placement, target topology.NodeID) (*Result, error) {
+	in, err := newInstance(t, data)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	if target == topology.NoNode {
+		for i := range in.nodes {
+			if in.loads[in.nodes[i]] > in.loads[in.nodes[idx]] {
+				idx = i
+			}
+		}
+	} else {
+		found := false
+		for i, v := range in.nodes {
+			if v == target {
+				idx, found = i, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sorting: target %v is not a compute node", target)
+		}
+	}
+	return gather(in, idx, "gather")
+}

@@ -1,0 +1,401 @@
+package sorting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topompc/internal/dataset"
+	"topompc/internal/lowerbound"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+func sortInput(t *testing.T, rng *rand.Rand, tr *topology.Tree, n int,
+	place func([]uint64, int) (dataset.Placement, error)) dataset.Placement {
+	t.Helper()
+	keys := dataset.Distinct(rng, n)
+	p, err := place(keys, tr.NumCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func uniformPlace(keys []uint64, p int) (dataset.Placement, error) {
+	return dataset.SplitUniform(keys, p)
+}
+
+func TestProportionalLemma9(t *testing.T) {
+	f := func(rawHeavy []uint16, rawNu uint16) bool {
+		if len(rawHeavy) == 0 {
+			return true
+		}
+		heavy := make([]int64, len(rawHeavy))
+		var total int64
+		for i, h := range rawHeavy {
+			heavy[i] = int64(h)
+			total += heavy[i]
+		}
+		nu := int64(rawNu)
+		counts := Proportional(heavy, nu)
+		var sum int64
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		if total == 0 {
+			return sum == 0
+		}
+		// Lemma 9(3) with equality: the counts consume exactly nu.
+		if sum != nu {
+			return false
+		}
+		// Lemma 9(1): every prefix within 1 of the exact share.
+		var prefix, heavyPrefix int64
+		for i := range counts {
+			prefix += counts[i]
+			heavyPrefix += heavy[i]
+			exact := float64(heavyPrefix) / float64(total) * float64(nu)
+			if float64(prefix) < exact-1-1e-6 || float64(prefix) > exact+1+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionalZeroCases(t *testing.T) {
+	if got := Proportional(nil, 5); len(got) != 0 {
+		t.Error("no heavy nodes should give empty counts")
+	}
+	got := Proportional([]int64{0, 0}, 5)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero-weight heavy nodes got %v", got)
+	}
+	got = Proportional([]int64{3, 7}, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty light node sends %v", got)
+	}
+}
+
+func TestWTSCorrectStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, _ := topology.UniformStar(4, 1)
+	data := sortInput(t, rng, tr, 4000, uniformPlace)
+	res, err := WTS(tr, data, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, data, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "wts" {
+		t.Errorf("strategy = %s, want wts", res.Strategy)
+	}
+	if got := res.Report.NumRounds(); got > 4 {
+		t.Errorf("rounds = %d, want ≤ 4 (Theorem 7)", got)
+	}
+}
+
+func TestWTSCorrectAcrossTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	topos := map[string]*topology.Tree{"figure1b": topology.Figure1b()}
+	if tt, err := topology.TwoTier([]int{3, 2}, []float64{3, 1}, 5); err == nil {
+		topos["twotier"] = tt
+	}
+	if ct, err := topology.Caterpillar([]float64{1, 2, 4}, 3); err == nil {
+		topos["caterpillar"] = ct
+	}
+	for name, tr := range topos {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{100, 2000, 10000} {
+				data := sortInput(t, rng, tr, n, uniformPlace)
+				res, err := WTS(tr, data, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Verify(tr, data, res); err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+func TestWTSSkewedPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := topology.TwoTier([]int{2, 3}, []float64{2, 1}, 4)
+	placements := map[string]func([]uint64, int) (dataset.Placement, error){
+		"zipf": func(k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitZipf(rand.New(rand.NewSource(9)), k, p, 1.3)
+		},
+		"oneheavy60": func(k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitOneHeavy(k, p, 2, 0.6)
+		},
+		"single": func(k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitSingle(k, p, 0)
+		},
+	}
+	for name, place := range placements {
+		t.Run(name, func(t *testing.T) {
+			data := sortInput(t, rng, tr, 3000, place)
+			res, err := WTS(tr, data, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(tr, data, res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWTSMajorityGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, _ := topology.UniformStar(3, 1)
+	keys := dataset.Distinct(rng, 1000)
+	data, _ := dataset.SplitCounts(keys, []int{900, 50, 50})
+	res, err := WTS(tr, data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "gather" {
+		t.Errorf("strategy = %s, want gather for a majority holder", res.Strategy)
+	}
+	if err := Verify(tr, data, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.NumRounds() != 1 {
+		t.Errorf("gather rounds = %d, want 1", res.Report.NumRounds())
+	}
+}
+
+func TestWTSDuplicateKeys(t *testing.T) {
+	tr, _ := topology.UniformStar(4, 1)
+	keys := make([]uint64, 2000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(50)) // heavy duplication
+	}
+	data, _ := dataset.SplitUniform(keys, 4)
+	res, err := WTS(tr, data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, data, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWTSEmptyAndTiny(t *testing.T) {
+	tr, _ := topology.UniformStar(3, 1)
+	empty := make(dataset.Placement, 3)
+	res, err := WTS(tr, empty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, empty, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalCost() != 0 {
+		t.Error("empty input should cost nothing")
+	}
+	// One element.
+	one, _ := dataset.SplitCounts([]uint64{42}, []int{0, 1, 0})
+	res, err = WTS(tr, one, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, one, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWTSDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := topology.Figure1b()
+	data := sortInput(t, rng, tr, 5000, uniformPlace)
+	a, _ := WTS(tr, data, 11)
+	b, _ := WTS(tr, data, 11)
+	if a.Report.TotalCost() != b.Report.TotalCost() {
+		t.Error("same seed produced different costs")
+	}
+}
+
+func TestTeraSortCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, _ := topology.TwoTier([]int{2, 2}, []float64{1, 3}, 2)
+	for _, n := range []int{50, 3000} {
+		data := sortInput(t, rng, tr, n, uniformPlace)
+		res, err := TeraSort(tr, data, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(tr, data, res); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Report.NumRounds() != 3 {
+			t.Errorf("terasort rounds = %d, want 3", res.Report.NumRounds())
+		}
+	}
+}
+
+func TestGatherBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr, _ := topology.UniformStar(3, 1)
+	data := sortInput(t, rng, tr, 500, uniformPlace)
+	res, err := Gather(tr, data, topology.NoNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, data, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gather(tr, data, tr.Root()); err == nil {
+		t.Error("expected error for router target")
+	}
+}
+
+// TestWTSCostEnvelope checks Theorem 7 empirically in its regime
+// N ≥ 4|VC|²·ln(|VC|·N): cost within a constant factor of Theorem 6.
+func TestWTSCostEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	worst := 0.0
+	for iter := 0; iter < 15; iter++ {
+		tr, err := topology.Random(rng, 2+rng.Intn(4), 1+rng.Intn(3), 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tr.NumCompute()
+		n := 4 * p * p * 20 * 4 // comfortably inside the theorem regime
+		data := sortInput(t, rng, tr, n, func(k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitZipf(rng, k, p, rng.Float64())
+		})
+		res, err := WTS(tr, data, uint64(iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(tr, data, res); err != nil {
+			t.Fatal(err)
+		}
+		loads := make(topology.Loads, tr.NumNodes())
+		for i, v := range tr.ComputeNodes() {
+			loads[v] = int64(len(data[i]))
+		}
+		lb := lowerbound.Sorting(tr, loads)
+		if ratio := netsim.Ratio(res.Report.TotalCost(), lb.Value); ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 30 {
+		t.Errorf("worst cost/LB ratio = %.2f exceeds the O(1) envelope", worst)
+	}
+	if worst <= 0 || math.IsInf(worst, 1) {
+		t.Errorf("degenerate worst ratio %v", worst)
+	}
+}
+
+// TestWTSAdversarialDistribution runs the Theorem 6 lower-bound instance
+// (Figure 5): rank-interleaved initial placement, which forces Ω(CLB)
+// traffic on every edge; wTS must still sort correctly.
+func TestWTSAdversarialDistribution(t *testing.T) {
+	tr, err := topology.Caterpillar([]float64{1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.NumCompute()
+	n := 4000
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = n / p
+	}
+	sorted := dataset.Sequential(n)
+	data, err := dataset.AdversarialSortPlacement(sorted, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WTS(tr, data, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tr, data, res); err != nil {
+		t.Fatal(err)
+	}
+	// The measured cost must be at least a constant fraction of the lower
+	// bound (the LB is what the adversarial instance enforces).
+	loads := make(topology.Loads, tr.NumNodes())
+	for i, v := range tr.ComputeNodes() {
+		loads[v] = int64(len(data[i]))
+	}
+	lb := lowerbound.Sorting(tr, loads)
+	if res.Report.TotalCost() < lb.Value/4 {
+		t.Errorf("cost %.1f implausibly below the lower bound %.1f", res.Report.TotalCost(), lb.Value)
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := topology.Random(rng, 2+rng.Intn(5), 1+rng.Intn(3), 1, 6)
+		if err != nil {
+			return false
+		}
+		n := int(nRaw)%5000 + 1
+		keys := dataset.Distinct(rng, n)
+		data, err := dataset.SplitZipf(rng, keys, tr.NumCompute(), rng.Float64()*2)
+		if err != nil {
+			return false
+		}
+		res, err := WTS(tr, data, uint64(seed))
+		if err != nil {
+			return false
+		}
+		return Verify(tr, data, res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCatchesBadOutput(t *testing.T) {
+	tr, _ := topology.UniformStar(2, 1)
+	data, _ := dataset.SplitCounts([]uint64{5, 3, 9, 1}, []int{2, 2})
+	order := tr.LeftToRight()
+
+	bad := &Result{PerNode: [][]uint64{{1, 3}, {5}}, Order: order} // lost 9
+	if err := Verify(tr, data, bad); err == nil {
+		t.Error("expected error for lost element")
+	}
+	bad = &Result{PerNode: [][]uint64{{3, 1}, {5, 9}}, Order: order} // unsorted
+	if err := Verify(tr, data, bad); err == nil {
+		t.Error("expected error for unsorted fragment")
+	}
+	bad = &Result{PerNode: [][]uint64{{5, 9}, {1, 3}}, Order: order} // misordered
+	if err := Verify(tr, data, bad); err == nil {
+		t.Error("expected error for violated global ordering")
+	}
+	good := &Result{PerNode: [][]uint64{{1, 3}, {5, 9}}, Order: order}
+	if err := Verify(tr, data, good); err != nil {
+		t.Errorf("good output rejected: %v", err)
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	if SampleRate(4, 0) != 0 {
+		t.Error("empty input should sample nothing")
+	}
+	if SampleRate(4, 10) != 1 {
+		t.Error("tiny input should sample everything")
+	}
+	r := SampleRate(4, 1000000)
+	if r <= 0 || r >= 1 {
+		t.Errorf("rate = %v out of range", r)
+	}
+}

@@ -1,0 +1,269 @@
+package sorting
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// WTS runs weighted TeraSort (§5.2), the four-round protocol of Theorem 7:
+//
+//	Round 1: light nodes (N_v < N/(2|VC|)) ship their data to the heavy
+//	         nodes proportionally to the heavy sizes (Algorithm 6);
+//	Round 2: heavy nodes Bernoulli-sample their data at rate
+//	         ρ = 4|VC|/N · ln(|VC|·N) and send samples to v₁;
+//	Round 3: v₁ sorts the samples and broadcasts k−1 splitters chosen so
+//	         node v_j receives c_j = ⌈|VC|·M_j/N⌉ sample quantiles;
+//	Round 4: heavy nodes redistribute by splitter interval and sort locally.
+//
+// Heavy nodes are labeled v₁ … v_k in left-to-right tree order, so the
+// output respects the canonical valid ordering. As the paper's suggested
+// improvement, a node already holding a majority of the data receives
+// everything instead; and when no node qualifies as heavy (the input is far
+// below the Theorem 7 regime N ≥ 4|VC|²ln(|VC|N)), the protocol degrades
+// to gathering at the largest holder.
+func WTS(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, error) {
+	return WTSWithOpts(t, data, seed, Opts{})
+}
+
+// Opts tunes WTS for ablation experiments.
+type Opts struct {
+	// UniformLight makes round 1 split light-node data evenly across the
+	// heavy nodes instead of proportionally to their sizes (disabling the
+	// third wTS generalization of §5.2; ablation A3).
+	UniformLight bool
+}
+
+// WTSWithOpts is WTS with ablation options.
+func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opts) (*Result, error) {
+	in, err := newInstance(t, data)
+	if err != nil {
+		return nil, err
+	}
+	if in.total == 0 {
+		return &Result{
+			PerNode:  make([][]uint64, len(in.nodes)),
+			Order:    t.LeftToRight(),
+			Report:   netsim.NewEngine(t).Report(),
+			Strategy: "wts",
+		}, nil
+	}
+	idx := in.indexOf()
+	p := int64(len(in.nodes))
+
+	// Paper's improvement: a majority holder gathers everything.
+	for i, v := range in.nodes {
+		if 2*in.loads[v] > in.total {
+			return gather(in, i, "gather")
+		}
+	}
+
+	// Heavy/light split: heavy ⇔ N_v ≥ N/(2|VC|); labeled in left-to-right
+	// order.
+	order := t.LeftToRight()
+	threshold := float64(in.total) / float64(2*p)
+	var heavy []int // compute indices, left-to-right
+	for _, v := range order {
+		i := idx[v]
+		if float64(in.loads[v]) >= threshold {
+			heavy = append(heavy, i)
+		}
+	}
+	if len(heavy) == 0 {
+		best := 0
+		for i := range in.nodes {
+			if in.loads[in.nodes[i]] > in.loads[in.nodes[best]] {
+				best = i
+			}
+		}
+		return gather(in, best, "gather")
+	}
+	k := len(heavy)
+	heavySizes := make([]int64, k)
+	for j, i := range heavy {
+		heavySizes[j] = in.loads[in.nodes[i]]
+	}
+	isHeavy := make([]bool, len(in.nodes))
+	for _, i := range heavy {
+		isHeavy[i] = true
+	}
+
+	e := netsim.NewEngine(t)
+
+	// Round 1: light → heavy, proportional slices.
+	rd := e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if isHeavy[i] || len(in.data[i]) == 0 {
+			return
+		}
+		shares := heavySizes
+		if opts.UniformLight {
+			shares = make([]int64, k)
+			for j := range shares {
+				shares[j] = 1
+			}
+		}
+		counts := Proportional(shares, int64(len(in.data[i])))
+		off := int64(0)
+		for j, c := range counts {
+			if c > 0 {
+				out.Send(in.nodes[heavy[j]], netsim.TagData, in.data[i][off:off+c])
+			}
+			off += c
+		}
+	})
+	rd.Finish()
+
+	// Heavy node j's working set M_j: its own data plus round-1 deliveries.
+	working := make([][]uint64, k)
+	for j, i := range heavy {
+		working[j] = append(working[j], in.data[i]...)
+		for _, m := range e.Inbox(in.nodes[i]) {
+			working[j] = append(working[j], m.Keys...)
+		}
+	}
+
+	// Round 2: heavy nodes sample at rate ρ and send samples to v₁.
+	rho := 4 * float64(p) / float64(in.total) * math.Log(float64(p)*float64(in.total))
+	if rho > 1 {
+		rho = 1
+	}
+	coordinator := in.nodes[heavy[0]]
+	samples := make([][]uint64, k)
+	for j := range working {
+		rng := rand.New(rand.NewSource(int64(seed) + int64(j)*7919))
+		for _, x := range working[j] {
+			if rng.Float64() < rho {
+				samples[j] = append(samples[j], x)
+			}
+		}
+	}
+	rd = e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if !isHeavy[i] {
+			return
+		}
+		for j, hi := range heavy {
+			if hi == i && len(samples[j]) > 0 {
+				out.Send(coordinator, netsim.TagSample, samples[j])
+			}
+		}
+	})
+	rd.Finish()
+
+	// Round 3: v₁ computes and broadcasts the splitters.
+	var allSamples []uint64
+	for _, m := range e.Inbox(coordinator) {
+		if m.Tag == netsim.TagSample {
+			allSamples = append(allSamples, m.Keys...)
+		}
+	}
+	sortU64(allSamples)
+	splitters := chooseSplitters(allSamples, p, in.total, working)
+
+	rd = e.BeginRound()
+	if len(splitters) > 0 {
+		dsts := make([]topology.NodeID, 0, k-1)
+		for _, i := range heavy[1:] {
+			dsts = append(dsts, in.nodes[i])
+		}
+		if len(dsts) > 0 {
+			rd.Multicast(coordinator, dsts, netsim.TagSplitter, splitters)
+		}
+	}
+	rd.Finish()
+
+	// Round 4: redistribute by splitter interval; heavy node j takes
+	// [splitters[j-1], splitters[j]).
+	rd = e.BeginRound()
+	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		if !isHeavy[i] {
+			return
+		}
+		var mine []uint64
+		for j, hi := range heavy {
+			if hi == i {
+				mine = working[j]
+				_ = j
+			}
+		}
+		buckets := make([][]uint64, k)
+		for _, x := range mine {
+			buckets[bucketOf(x, splitters)] = append(buckets[bucketOf(x, splitters)], x)
+		}
+		for j, b := range buckets {
+			if len(b) > 0 {
+				out.Send(in.nodes[heavy[j]], netsim.TagData, b)
+			}
+		}
+	})
+	rd.Finish()
+
+	res := &Result{
+		PerNode:  make([][]uint64, len(in.nodes)),
+		Order:    order,
+		Strategy: "wts",
+	}
+	for _, i := range heavy {
+		var final []uint64
+		for _, m := range e.Inbox(in.nodes[i]) {
+			if m.Tag == netsim.TagData {
+				final = append(final, m.Keys...)
+			}
+		}
+		sortU64(final)
+		res.PerNode[i] = final
+	}
+	res.Report = e.Report()
+	return res, nil
+}
+
+// chooseSplitters picks the k−1 splitters of round 3: with
+// c_j = ⌈|VC|·M_j/N⌉ fine quantile intervals allotted to heavy node j, the
+// j-th splitter is the (c_1+…+c_j)·⌈s/|VC|⌉-th smallest sample (clamped to
+// the sample range).
+func chooseSplitters(sorted []uint64, p, total int64, working [][]uint64) []uint64 {
+	k := len(working)
+	if k <= 1 {
+		return nil
+	}
+	s := int64(len(sorted))
+	if s == 0 {
+		// No samples (possible only for tiny inputs): all data to v₁.
+		out := make([]uint64, k-1)
+		for i := range out {
+			out[i] = math.MaxUint64
+		}
+		return out
+	}
+	step := (s + p - 1) / p
+	if step == 0 {
+		step = 1
+	}
+	splitters := make([]uint64, 0, k-1)
+	var cum int64
+	for j := 0; j < k-1; j++ {
+		cj := (p*int64(len(working[j])) + total - 1) / total
+		cum += cj
+		pos := cum * step // 1-indexed rank of t_{cum}
+		if pos >= s {
+			splitters = append(splitters, math.MaxUint64)
+			continue
+		}
+		splitters = append(splitters, sorted[pos-1])
+	}
+	return splitters
+}
+
+// bucketOf locates x's interval: bucket j holds [splitters[j-1],
+// splitters[j]).
+func bucketOf(x uint64, splitters []uint64) int {
+	return sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+}

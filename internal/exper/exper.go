@@ -1,0 +1,183 @@
+// Package exper is the benchmark harness that regenerates every table and
+// figure of the paper (see the per-experiment index in DESIGN.md). Each
+// experiment runs real protocols on the netsim cost model, compares the
+// measured cost against the closed-form lower bounds, and emits tables that
+// cmd/topobench renders and EXPERIMENTS.md records.
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness; the same seed reproduces every number.
+	Seed uint64
+	// Quick shrinks sweeps for use in unit tests and -short mode.
+	Quick bool
+	// Trials is the number of repetitions per randomized cell (max ratio is
+	// reported). Zero means the experiment default.
+	Trials int
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return 1
+	}
+	return def
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "%s\n\n", t.Note)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Note)
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	for i, h := range t.Headers {
+		sb.WriteString(pad(h, widths[i]) + "  ")
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) {
+				sb.WriteString(pad(c, widths[i]) + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Experiment is one reproducible unit: a paper table/figure or an ablation.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the artifact it regenerates
+	Run   func(cfg Config) ([]Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders E1 < … < E10 < A1 < … < A4 < X1 < … (class letter, then
+// numeric suffix).
+func idLess(a, b string) bool {
+	pa, pb := idKey(a), idKey(b)
+	if pa.class != pb.class {
+		return pa.class < pb.class
+	}
+	if pa.num != pb.num {
+		return pa.num < pb.num
+	}
+	return a < b
+}
+
+type idParts struct {
+	class int
+	num   int
+}
+
+func idKey(id string) idParts {
+	class := 3
+	switch {
+	case strings.HasPrefix(id, "E"):
+		class = 0
+	case strings.HasPrefix(id, "A"):
+		class = 1
+	case strings.HasPrefix(id, "X"):
+		class = 2
+	}
+	n := 0
+	fmt.Sscanf(id[1:], "%d", &n)
+	return idParts{class: class, num: n}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,96 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4", "X1", "X2"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s missing metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment end to end in quick
+// mode: every protocol run inside verifies its own output, so this is a
+// broad integration test of the whole stack.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Config{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+					t.Errorf("table %q incomplete", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Errorf("table %q: row width %d != header width %d", tb.Title, len(row), len(tb.Headers))
+					}
+				}
+				md := tb.Markdown()
+				if !strings.Contains(md, "|") {
+					t.Error("markdown rendering broken")
+				}
+				if tb.String() == "" {
+					t.Error("text rendering broken")
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		e, _ := ByID("E2")
+		tables, err := e.Run(Config{Seed: 11, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			sb.WriteString(tb.Markdown())
+		}
+		return sb.String()
+	}
+	if run() != run() {
+		t.Error("E2 is not deterministic for a fixed seed")
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	if !idLess("E2", "E10") {
+		t.Error("E2 should sort before E10")
+	}
+	if !idLess("E10", "A1") {
+		t.Error("E10 should sort before A1")
+	}
+	if idLess("A2", "A1") {
+		t.Error("A1 should sort before A2")
+	}
+}

@@ -1,0 +1,90 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topompc/internal/dataset"
+	"topompc/internal/topology"
+)
+
+// namedTopo is a topology family instantiated for a sweep.
+type namedTopo struct {
+	name string
+	tree *topology.Tree
+}
+
+// topoSuite builds the standard topology sweep of DESIGN.md: stars (uniform
+// and heterogeneous), a two-tier datacenter, a fat tree and a caterpillar.
+func topoSuite(quick bool) ([]namedTopo, error) {
+	var out []namedTopo
+	add := func(name string, t *topology.Tree, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, namedTopo{name: name, tree: t})
+		return nil
+	}
+	star, err := topology.UniformStar(8, 1)
+	if e := add("star-uniform", star, err); e != nil {
+		return nil, e
+	}
+	hstar, err := topology.Star([]float64{1, 1, 2, 2, 4, 4, 8, 8})
+	if e := add("star-hetero", hstar, err); e != nil {
+		return nil, e
+	}
+	tt, err := topology.TwoTier([]int{4, 4, 4}, []float64{4, 2, 1}, 8)
+	if e := add("two-tier", tt, err); e != nil {
+		return nil, e
+	}
+	if !quick {
+		ft, err := topology.FatTree(2, 3, 2, 3)
+		if e := add("fat-tree", ft, err); e != nil {
+			return nil, e
+		}
+		cat, err := topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4)
+		if e := add("caterpillar", cat, err); e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// namedPlacement is a data placement strategy for a sweep.
+type namedPlacement struct {
+	name  string
+	place func(rng *rand.Rand, keys []uint64, p int) (dataset.Placement, error)
+}
+
+func placementSuite(quick bool) []namedPlacement {
+	out := []namedPlacement{
+		{"uniform", func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitUniform(k, p)
+		}},
+		{"zipf-1.2", func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+			return dataset.SplitZipf(rng, k, p, 1.2)
+		}},
+	}
+	if !quick {
+		out = append(out,
+			namedPlacement{"one-heavy-80", func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+				return dataset.SplitOneHeavy(k, p, rng.Intn(p), 0.8)
+			}},
+			namedPlacement{"single-node", func(rng *rand.Rand, k []uint64, p int) (dataset.Placement, error) {
+				return dataset.SplitSingle(k, p, rng.Intn(p))
+			}},
+		)
+	}
+	return out
+}
+
+// loadsOf builds the N_v vector for two placements on a tree.
+func loadsOf(t *topology.Tree, parts ...dataset.Placement) topology.Loads {
+	loads := make(topology.Loads, t.NumNodes())
+	for i, v := range t.ComputeNodes() {
+		for _, p := range parts {
+			loads[v] += int64(len(p[i]))
+		}
+	}
+	return loads
+}

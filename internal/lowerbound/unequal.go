@@ -1,0 +1,108 @@
+package lowerbound
+
+import (
+	"math"
+
+	"topompc/internal/topology"
+)
+
+// UnequalStar is the combined star lower bound for R × S with |R| ≤ |S|
+// from Appendix A.1 (Theorems 8 and 9).
+//
+// Theorem 8 is the per-edge bound
+//
+//	max{ max_{v∈Vα} min{N_v, N−N_v}/w_v,  max_{v∈Vβ} |R|/w_v }
+//
+// with Vα = {v : min(N_v, N−N_v) < |R|} (it coincides with
+// UnequalCartesianCut on a star). Theorem 9 adds an output-coverage bound:
+// when no node holds a majority,
+//
+//	C ≥ min{ |S|/max_v w_v,  Σ_{u∈Vα}|S_u| / (2 Σ_{u∈Vβ} w_u),  V(R, ∪_{u∈Vα}S_u, Vα) }
+//
+// where V(·) solves the coverage inequality (2) (see CoverageNumber).
+//
+// loadsR and loadsS are the per-node |R_v| and |S_v| sizes in compute-node
+// order; weights are the leaf bandwidths in the same order.
+func UnequalStar(t *topology.Tree, loadsR, loadsS []int64, weights []float64) float64 {
+	var sizeR, sizeS, n int64
+	nv := make([]int64, len(loadsR))
+	for i := range loadsR {
+		nv[i] = loadsR[i] + loadsS[i]
+		sizeR += loadsR[i]
+		sizeS += loadsS[i]
+		n += nv[i]
+	}
+	if sizeR > sizeS {
+		loadsR, loadsS = loadsS, loadsR
+		sizeR, sizeS = sizeS, sizeR
+	}
+	if n == 0 {
+		return 0
+	}
+
+	// Theorem 8 (per-edge/cut bound).
+	cut := 0.0
+	for i, w := range weights {
+		m := min3(nv[i], n-nv[i], sizeR)
+		if c := float64(m) / w; c > cut {
+			cut = c
+		}
+	}
+
+	// Theorem 9 applies only when max_v N_v ≤ N/2.
+	maxN := int64(0)
+	for _, x := range nv {
+		if x > maxN {
+			maxN = x
+		}
+	}
+	if 2*maxN > n {
+		return cut
+	}
+
+	var alphaS int64
+	var betaW, maxW float64
+	var alphaW []float64
+	for i, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+		if min3(nv[i], n-nv[i], math.MaxInt64) < sizeR {
+			alphaS += loadsS[i]
+			alphaW = append(alphaW, w)
+		} else {
+			betaW += w
+		}
+	}
+	terms := []float64{}
+	if maxW > 0 {
+		terms = append(terms, float64(sizeS)/maxW)
+	}
+	if betaW > 0 {
+		terms = append(terms, float64(alphaS)/(2*betaW))
+	}
+	if len(alphaW) > 0 && alphaS > 0 {
+		terms = append(terms, CoverageNumber(alphaW, sizeR, alphaS))
+	}
+	cover := math.Inf(1)
+	for _, x := range terms {
+		if x < cover {
+			cover = x
+		}
+	}
+	if math.IsInf(cover, 1) {
+		return cut
+	}
+	return math.Max(cut, cover)
+}
+
+func min3(a, b, c int64) int64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

@@ -1,0 +1,100 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+func TestUnequalStarCombinesBothBounds(t *testing.T) {
+	// Balanced star, |R| = |S| = N/2: Theorem 9's coverage term reduces to
+	// the equal-case cover bound and exceeds the per-node cut bound capped
+	// by |R| only when bandwidth is plentiful.
+	weights := []float64{1, 1, 1, 1}
+	loadsR := []int64{25, 25, 25, 25}
+	loadsS := []int64{25, 25, 25, 25}
+	tr, _ := topology.UniformStar(4, 1)
+	got := UnequalStar(tr, loadsR, loadsS, weights)
+	// Cut bound: min(N_v, N−N_v, |R|)/w = min(50, 150, 100) = 50.
+	if got < 50 {
+		t.Errorf("combined bound %v below the cut bound 50", got)
+	}
+}
+
+func TestUnequalStarMajorityDisablesCoverTerm(t *testing.T) {
+	weights := []float64{1, 1, 1}
+	loadsR := []int64{100, 0, 0}
+	loadsS := []int64{200, 0, 0} // node 0 holds everything
+	tr, _ := topology.UniformStar(3, 1)
+	got := UnequalStar(tr, loadsR, loadsS, weights)
+	// Only the cut bound applies: min(300, 0, 100)/1 = 0 for empty nodes,
+	// min(300, 0, ...) for node 0 → 0. All data on one node: nothing must
+	// move.
+	if got != 0 {
+		t.Errorf("bound = %v, want 0 for single-node placement", got)
+	}
+}
+
+func TestUnequalStarSwapsRelations(t *testing.T) {
+	weights := []float64{2, 2}
+	tr, _ := topology.UniformStar(2, 2)
+	a := UnequalStar(tr, []int64{50, 50}, []int64{200, 200}, weights)
+	b := UnequalStar(tr, []int64{200, 200}, []int64{50, 50}, weights)
+	if a != b {
+		t.Errorf("bound not symmetric under relation swap: %v vs %v", a, b)
+	}
+}
+
+func TestUnequalStarSmallRCapsEdgeTerms(t *testing.T) {
+	// Tiny R: the per-edge terms cap at |R|/w; the coverage term is also
+	// small; overall bound must stay ≤ a broadcast-R cost of |R|/min w.
+	weights := []float64{1, 4, 8}
+	tr, _ := topology.Star(weights)
+	got := UnequalStar(tr, []int64{5, 5, 0}, []int64{1000, 1000, 1000}, weights)
+	if got > 10+1e-9 {
+		t.Errorf("bound = %v exceeds broadcast cost |R|/min_w = 10", got)
+	}
+	if got <= 0 {
+		t.Errorf("bound = %v, want positive", got)
+	}
+}
+
+func TestUnequalStarDominatesCutBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		p := 2 + rng.Intn(6)
+		weights := make([]float64, p)
+		loadsR := make([]int64, p)
+		loadsS := make([]int64, p)
+		sizes := make([]int64, p)
+		for i := range weights {
+			weights[i] = 1 + rng.Float64()*7
+			loadsR[i] = int64(rng.Intn(200))
+			loadsS[i] = int64(rng.Intn(800))
+			sizes[i] = loadsR[i] + loadsS[i]
+		}
+		tr, err := topology.Star(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads, err := tr.ComputeLoads(sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizeR, sizeS int64
+		for i := range loadsR {
+			sizeR += loadsR[i]
+			sizeS += loadsS[i]
+		}
+		small := sizeR
+		if sizeS < small {
+			small = sizeS
+		}
+		cut := UnequalCartesianCut(tr, loads, small)
+		combined := UnequalStar(tr, loadsR, loadsS, weights)
+		if combined < cut.Value-1e-9 {
+			t.Fatalf("combined bound %v below cut bound %v", combined, cut.Value)
+		}
+	}
+}

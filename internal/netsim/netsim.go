@@ -1,0 +1,225 @@
+// Package netsim executes parallel protocols on a topology.Tree under the
+// cost model of the topology-aware MPC model (§2 of Hu, Koutris, Blanas,
+// PODS 2021).
+//
+// A protocol proceeds in synchronous rounds. In each round every compute
+// node sends data to other compute nodes; each element is routed along the
+// unique tree path (unicast) or along the Steiner tree spanning the
+// destination set (multicast), and is charged once to every link it
+// crosses. The cost of round i is
+//
+//	cost_i = max_e |Y_i(e)| / w_e
+//
+// where |Y_i(e)| is the number of elements crossing link e in round i, and
+// the cost of the protocol is the sum over rounds. Costs are measured in
+// elements; Report.BitCost converts to bits.
+//
+// Unlike a pure cost calculator, the engine actually delivers every
+// message, so protocol outputs are real and can be verified against
+// reference implementations. Per-node computation can run concurrently via
+// Round.Parallel; determinism is preserved by merging per-node outboxes in
+// compute-node order.
+package netsim
+
+import (
+	"fmt"
+
+	"topompc/internal/topology"
+)
+
+// Tag distinguishes message payloads within a protocol (e.g. R-tuples from
+// S-tuples in a join). Tags are protocol-defined; the engine only carries
+// them.
+type Tag uint8
+
+// Common tags used by the built-in protocols.
+const (
+	TagData Tag = iota
+	TagR
+	TagS
+	TagSample
+	TagSplitter
+)
+
+// Message is a batch of elements sent from one compute node to another.
+type Message struct {
+	From topology.NodeID
+	To   topology.NodeID
+	Tag  Tag
+	Keys []uint64
+}
+
+// Engine executes rounds on a fixed tree and accumulates cost statistics.
+type Engine struct {
+	t  *topology.Tree
+	sc *topology.SteinerScratch
+
+	rounds    []RoundStats
+	inboxCur  [][]Message
+	inboxNext [][]Message
+
+	pathBuf []topology.EdgeID
+	inRound bool
+}
+
+// NewEngine returns an engine for the given tree with empty inboxes.
+func NewEngine(t *topology.Tree) *Engine {
+	return &Engine{
+		t:         t,
+		sc:        topology.NewSteinerScratch(t),
+		inboxCur:  make([][]Message, t.NumNodes()),
+		inboxNext: make([][]Message, t.NumNodes()),
+	}
+}
+
+// Tree reports the engine's tree.
+func (e *Engine) Tree() *topology.Tree { return e.t }
+
+// Inbox reports the messages delivered to v at the end of the previous
+// round. The slice is owned by the engine; callers must not modify it and
+// must not retain it across rounds.
+func (e *Engine) Inbox(v topology.NodeID) []Message { return e.inboxCur[v] }
+
+// NumRounds reports the number of completed rounds.
+func (e *Engine) NumRounds() int { return len(e.rounds) }
+
+// BeginRound starts a communication round. Sends read the inboxes of the
+// previous round; deliveries become visible when Finish is called.
+func (e *Engine) BeginRound() *Round {
+	if e.inRound {
+		panic("netsim: BeginRound while a round is open")
+	}
+	e.inRound = true
+	return &Round{
+		e:        e,
+		traffic:  make([]int64, e.t.NumEdges()),
+		sent:     make([]int64, e.t.NumNodes()),
+		received: make([]int64, e.t.NumNodes()),
+	}
+}
+
+// Round is one open communication round.
+type Round struct {
+	e        *Engine
+	traffic  []int64
+	sent     []int64
+	received []int64
+	messages int
+	elements int64
+	done     bool
+}
+
+func (r *Round) checkEndpoints(from topology.NodeID, to ...topology.NodeID) {
+	if r.done {
+		panic("netsim: send on finished round")
+	}
+	if !r.e.t.IsCompute(from) {
+		panic(fmt.Sprintf("netsim: sender %d is not a compute node", from))
+	}
+	for _, d := range to {
+		if !r.e.t.IsCompute(d) {
+			panic(fmt.Sprintf("netsim: receiver %d is not a compute node", d))
+		}
+	}
+}
+
+// Send transmits keys from one compute node to another along the unique
+// tree path, charging every link once. Self-sends are free and are still
+// delivered (the node keeps its own data without touching the network).
+func (r *Round) Send(from, to topology.NodeID, tag Tag, keys []uint64) {
+	r.checkEndpoints(from, to)
+	if from != to {
+		r.e.pathBuf = r.e.t.Path(r.e.pathBuf[:0], from, to)
+		for _, edge := range r.e.pathBuf {
+			r.traffic[edge] += int64(len(keys))
+		}
+		r.sent[from] += int64(len(keys))
+	}
+	r.deliver(Message{From: from, To: to, Tag: tag, Keys: keys})
+}
+
+// Multicast transmits keys from one compute node to every node in dsts,
+// routing along the Steiner tree of {from} ∪ dsts so that every link is
+// charged once regardless of the number of destinations. This matches the
+// paper's accounting for instructions like "send a to all nodes in
+// V_β ∪ {h(a)}": a router replicates the element toward multiple links.
+// Duplicate destinations receive a single delivery.
+func (r *Round) Multicast(from topology.NodeID, dsts []topology.NodeID, tag Tag, keys []uint64) {
+	r.checkEndpoints(from, dsts...)
+	r.e.pathBuf = r.e.t.Steiner(r.e.pathBuf[:0], r.e.sc, from, dsts)
+	if len(r.e.pathBuf) > 0 {
+		// The sender emits one copy into the network; routers replicate.
+		r.sent[from] += int64(len(keys))
+	}
+	for _, edge := range r.e.pathBuf {
+		r.traffic[edge] += int64(len(keys))
+	}
+	for i, d := range dsts {
+		dup := false
+		for _, prev := range dsts[:i] {
+			if prev == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.deliver(Message{From: from, To: d, Tag: tag, Keys: keys})
+		}
+	}
+}
+
+func (r *Round) deliver(m Message) {
+	r.messages++
+	r.elements += int64(len(m.Keys))
+	if m.From != m.To {
+		r.received[m.To] += int64(len(m.Keys))
+	}
+	r.e.inboxNext[m.To] = append(r.e.inboxNext[m.To], m)
+}
+
+// Finish closes the round: it computes the round cost, records statistics,
+// and makes all deliveries visible in the inboxes.
+func (r *Round) Finish() RoundStats {
+	if r.done {
+		panic("netsim: Finish called twice")
+	}
+	r.done = true
+	e := r.e
+	e.inRound = false
+
+	cost := 0.0
+	var maxEdge topology.EdgeID = topology.NoEdge
+	for edge, n := range r.traffic {
+		if n == 0 {
+			continue
+		}
+		c := float64(n) / e.t.Bandwidth(topology.EdgeID(edge))
+		if c > cost {
+			cost = c
+			maxEdge = topology.EdgeID(edge)
+		}
+	}
+	stats := RoundStats{
+		Index:          len(e.rounds),
+		EdgeElems:      r.traffic,
+		NodeSent:       r.sent,
+		NodeReceived:   r.received,
+		Cost:           cost,
+		BottleneckEdge: maxEdge,
+		Messages:       r.messages,
+		Elements:       r.elements,
+	}
+	e.rounds = append(e.rounds, stats)
+
+	// Swap inboxes: deliveries become current, old current is recycled.
+	for v := range e.inboxCur {
+		e.inboxCur[v] = e.inboxCur[v][:0]
+	}
+	e.inboxCur, e.inboxNext = e.inboxNext, e.inboxCur
+	return stats
+}
+
+// Report snapshots the cost statistics of all completed rounds.
+func (e *Engine) Report() *Report {
+	return &Report{Tree: e.t, Rounds: append([]RoundStats(nil), e.rounds...)}
+}

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+
+	"topompc/internal/topology"
+)
+
+// Outbox collects the sends issued by one compute node during a parallel
+// step. It is not safe for concurrent use; each node gets its own.
+type Outbox struct {
+	ops []outOp
+}
+
+type outOp struct {
+	multicast bool
+	to        topology.NodeID
+	dsts      []topology.NodeID
+	tag       Tag
+	keys      []uint64
+}
+
+// Send queues a unicast (see Round.Send).
+func (o *Outbox) Send(to topology.NodeID, tag Tag, keys []uint64) {
+	o.ops = append(o.ops, outOp{to: to, tag: tag, keys: keys})
+}
+
+// Multicast queues a multicast (see Round.Multicast). dsts is retained;
+// callers must not reuse the slice.
+func (o *Outbox) Multicast(dsts []topology.NodeID, tag Tag, keys []uint64) {
+	o.ops = append(o.ops, outOp{multicast: true, dsts: dsts, tag: tag, keys: keys})
+}
+
+// Parallel runs fn concurrently for every compute node of the tree and then
+// merges the queued sends into the round in compute-node order, keeping
+// traffic accounting and inbox ordering fully deterministic. fn typically
+// reads Engine.Inbox(v) (safe: inboxes are read-only during a round) plus
+// protocol-local state for v, performs local computation, and queues sends.
+func (r *Round) Parallel(fn func(v topology.NodeID, out *Outbox)) {
+	nodes := r.e.t.ComputeNodes()
+	outs := make([]Outbox, len(nodes))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for i, v := range nodes {
+			fn(v, &outs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					fn(nodes[i], &outs[i])
+				}
+			}()
+		}
+		for i := range nodes {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i, v := range nodes {
+		for _, op := range outs[i].ops {
+			if op.multicast {
+				r.Multicast(v, op.dsts, op.tag, op.keys)
+			} else {
+				r.Send(v, op.to, op.tag, op.keys)
+			}
+		}
+	}
+}

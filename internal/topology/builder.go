@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder constructs a Tree incrementally. The zero value is ready to use.
+//
+// Node insertion order determines NodeIDs and the left-to-right orientation
+// of the tree; edge insertion order determines EdgeIDs and the child order
+// used by traversals.
+type Builder struct {
+	names   []string
+	compute []bool
+	adj     [][]Half
+	endA    []NodeID
+	endB    []NodeID
+	bw      []float64
+	err     error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Compute adds a compute node and returns its id.
+func (b *Builder) Compute(name string) NodeID { return b.add(name, true) }
+
+// Router adds a routing-only node and returns its id.
+func (b *Builder) Router(name string) NodeID { return b.add(name, false) }
+
+func (b *Builder) add(name string, compute bool) NodeID {
+	id := NodeID(len(b.names))
+	if name == "" {
+		kind := "w"
+		if compute {
+			kind = "v"
+		}
+		name = fmt.Sprintf("%s%d", kind, id)
+	}
+	b.names = append(b.names, name)
+	b.compute = append(b.compute, compute)
+	b.adj = append(b.adj, nil)
+	return id
+}
+
+// Link connects u and v with a symmetric link of the given bandwidth and
+// returns the edge id. Bandwidth must be positive; math.Inf(1) models a free
+// link (used by the leaf normalization of §2.1).
+func (b *Builder) Link(u, v NodeID, bandwidth float64) EdgeID {
+	if b.err != nil {
+		return NoEdge
+	}
+	if int(u) >= len(b.names) || int(v) >= len(b.names) || u < 0 || v < 0 {
+		b.err = fmt.Errorf("topology: Link(%d, %d): unknown node", u, v)
+		return NoEdge
+	}
+	if u == v {
+		b.err = fmt.Errorf("topology: Link(%d, %d): self-loop", u, v)
+		return NoEdge
+	}
+	if !(bandwidth > 0) || math.IsNaN(bandwidth) {
+		b.err = fmt.Errorf("topology: Link(%d, %d): invalid bandwidth %v", u, v, bandwidth)
+		return NoEdge
+	}
+	id := EdgeID(len(b.bw))
+	b.endA = append(b.endA, u)
+	b.endB = append(b.endB, v)
+	b.bw = append(b.bw, bandwidth)
+	b.adj[u] = append(b.adj[u], Half{To: v, Edge: id})
+	b.adj[v] = append(b.adj[v], Half{To: u, Edge: id})
+	return id
+}
+
+// Build validates the constructed graph and returns the immutable Tree.
+// The graph must be a connected tree with at least one compute node.
+func (b *Builder) Build() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	t := &Tree{
+		names:   b.names,
+		compute: b.compute,
+		adj:     b.adj,
+		endA:    b.endA,
+		endB:    b.endB,
+		bw:      b.bw,
+	}
+	if t.NumNodes() == 0 {
+		return nil, fmt.Errorf("topology: empty tree")
+	}
+	if t.NumEdges() != t.NumNodes()-1 {
+		return nil, fmt.Errorf("topology: %d nodes require %d edges, got %d (not a tree)",
+			t.NumNodes(), t.NumNodes()-1, t.NumEdges())
+	}
+	t.finalize()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build for static topologies; it panics on error.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

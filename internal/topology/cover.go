@@ -1,0 +1,168 @@
+package topology
+
+import "math"
+
+// A cover of G† is a set of nodes such that every compute node has an
+// ancestor-or-self in the set; a minimal cover additionally admits no proper
+// subset that is a cover, which forces the covered subtrees to be disjoint
+// (used in the proof of Theorem 4).
+
+// IsCover reports whether set covers every compute node of d (every compute
+// node has an ancestor-or-self in set).
+func (d *Directed) IsCover(set []NodeID) bool {
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, c := range d.t.ComputeNodes() {
+		covered := false
+		for v := c; v != NoNode; v = d.parent[v] {
+			if in[v] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimalCover reports whether set is a cover from which no element can
+// be removed.
+func (d *Directed) IsMinimalCover(set []NodeID) bool {
+	if !d.IsCover(set) {
+		return false
+	}
+	for i := range set {
+		reduced := make([]NodeID, 0, len(set)-1)
+		reduced = append(reduced, set[:i]...)
+		reduced = append(reduced, set[i+1:]...)
+		if d.IsCover(reduced) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinCoverSumSq finds, over all minimal covers U of G† with U ≠ {root},
+// the one minimizing Σ_{u∈U} w_u² where w_u is the bandwidth of u's
+// outgoing edge. It returns the cover and the value w̃ = sqrt(min Σ w²);
+// this is exactly the quantity computed bottom-up by the first phase of
+// Algorithm 5 (Lemma 8, property 3), and N / w̃ is the strongest form of the
+// Theorem 4 lower bound.
+//
+// ok is false when no such cover exists, which happens exactly when the G†
+// root is itself a compute node (then the gather-to-root strategy is
+// optimal and Theorem 4 does not apply).
+func (d *Directed) MinCoverSumSq() (cover []NodeID, wTilde float64, ok bool) {
+	if d.RootIsCompute() {
+		return nil, 0, false
+	}
+	type res struct {
+		sumSq  float64
+		picked bool // whether this subtree's cover is {v} itself
+	}
+	n := d.t.NumNodes()
+	memo := make([]res, n)
+	hasCompute := make([]bool, n)
+	order := d.PostOrder()
+	for _, v := range order {
+		hc := d.t.IsCompute(v)
+		var childSum float64
+		childrenOK := true
+		for _, c := range d.children[v] {
+			if hasCompute[c] {
+				hc = true
+			}
+			childSum += memo[c].sumSq
+		}
+		hasCompute[v] = hc
+		if !hc {
+			memo[v] = res{sumSq: 0, picked: false}
+			continue
+		}
+		// Option B (do not pick v) is valid only when v itself is not a
+		// compute node: an unpicked internal compute node would be uncovered.
+		if d.t.IsCompute(v) {
+			childrenOK = false
+		}
+		pickCost := math.Inf(1)
+		if v != d.root {
+			w := d.outBW[v]
+			pickCost = w * w
+		}
+		if childrenOK && childSum <= pickCost {
+			memo[v] = res{sumSq: childSum, picked: false}
+		} else {
+			memo[v] = res{sumSq: pickCost, picked: true}
+		}
+	}
+	// Extract the chosen cover top-down.
+	var collect func(v NodeID)
+	collect = func(v NodeID) {
+		if !hasCompute[v] {
+			return
+		}
+		if memo[v].picked {
+			cover = append(cover, v)
+			return
+		}
+		for _, c := range d.children[v] {
+			collect(c)
+		}
+	}
+	collect(d.root)
+	return cover, math.Sqrt(memo[d.root].sumSq), true
+}
+
+// EnumMinimalCovers enumerates every minimal cover of G† that covers all
+// compute nodes (excluding covers containing the root when the root is a
+// router, matching Theorem 4's U ≠ {r} requirement only in the sense that
+// the root itself is never a member — it has no outgoing edge). Intended for
+// exhaustive cross-checking on small trees; cost is exponential.
+func (d *Directed) EnumMinimalCovers() [][]NodeID {
+	var enum func(v NodeID) [][]NodeID
+	subHasCompute := make(map[NodeID]bool)
+	var mark func(v NodeID) bool
+	mark = func(v NodeID) bool {
+		h := d.t.IsCompute(v)
+		for _, c := range d.children[v] {
+			if mark(c) {
+				h = true
+			}
+		}
+		subHasCompute[v] = h
+		return h
+	}
+	mark(d.root)
+	enum = func(v NodeID) [][]NodeID {
+		if !subHasCompute[v] {
+			return [][]NodeID{nil}
+		}
+		var out [][]NodeID
+		if v != d.root {
+			out = append(out, []NodeID{v})
+		}
+		if !d.t.IsCompute(v) && len(d.children[v]) > 0 {
+			combos := [][]NodeID{nil}
+			for _, c := range d.children[v] {
+				sub := enum(c)
+				var next [][]NodeID
+				for _, base := range combos {
+					for _, s := range sub {
+						merged := make([]NodeID, 0, len(base)+len(s))
+						merged = append(merged, base...)
+						merged = append(merged, s...)
+						next = append(next, merged)
+					}
+				}
+				combos = next
+			}
+			out = append(out, combos...)
+		}
+		return out
+	}
+	return enum(d.root)
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Spec is the JSON-serializable description of a tree, used by the command
+// line tools. Example:
+//
+//	{
+//	  "nodes": [
+//	    {"name": "w", "compute": false},
+//	    {"name": "v1", "compute": true},
+//	    {"name": "v2", "compute": true}
+//	  ],
+//	  "edges": [
+//	    {"a": 1, "b": 0, "bw": 10},
+//	    {"a": 2, "b": 0, "bw": 1}
+//	  ]
+//	}
+//
+// A bandwidth of -1 denotes +Inf (JSON has no literal for infinity).
+type Spec struct {
+	Nodes []SpecNode `json:"nodes"`
+	Edges []SpecEdge `json:"edges"`
+}
+
+// SpecNode describes one node of a Spec.
+type SpecNode struct {
+	Name    string `json:"name"`
+	Compute bool   `json:"compute"`
+}
+
+// SpecEdge describes one undirected edge of a Spec by node indices.
+type SpecEdge struct {
+	A  int     `json:"a"`
+	B  int     `json:"b"`
+	BW float64 `json:"bw"`
+}
+
+// ToSpec converts a Tree to its serializable Spec.
+func (t *Tree) ToSpec() Spec {
+	s := Spec{
+		Nodes: make([]SpecNode, t.NumNodes()),
+		Edges: make([]SpecEdge, t.NumEdges()),
+	}
+	for v := 0; v < t.NumNodes(); v++ {
+		s.Nodes[v] = SpecNode{Name: t.Name(NodeID(v)), Compute: t.IsCompute(NodeID(v))}
+	}
+	for e := 0; e < t.NumEdges(); e++ {
+		a, b := t.Endpoints(EdgeID(e))
+		bw := t.Bandwidth(EdgeID(e))
+		if math.IsInf(bw, 1) {
+			bw = -1
+		}
+		s.Edges[e] = SpecEdge{A: int(a), B: int(b), BW: bw}
+	}
+	return s
+}
+
+// FromSpec builds a Tree from a Spec.
+func FromSpec(s Spec) (*Tree, error) {
+	b := NewBuilder()
+	for _, n := range s.Nodes {
+		if n.Compute {
+			b.Compute(n.Name)
+		} else {
+			b.Router(n.Name)
+		}
+	}
+	for i, e := range s.Edges {
+		if e.A < 0 || e.A >= len(s.Nodes) || e.B < 0 || e.B >= len(s.Nodes) {
+			return nil, fmt.Errorf("topology: edge %d references unknown node", i)
+		}
+		bw := e.BW
+		if bw == -1 {
+			bw = math.Inf(1)
+		}
+		b.Link(NodeID(e.A), NodeID(e.B), bw)
+	}
+	return b.Build()
+}
+
+// MarshalJSON encodes the tree as its Spec.
+func (t *Tree) MarshalJSON() ([]byte, error) { return json.Marshal(t.ToSpec()) }
+
+// ParseJSON decodes a tree from Spec JSON.
+func ParseJSON(data []byte) (*Tree, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	return FromSpec(s)
+}

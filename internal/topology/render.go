@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// String renders the tree as an ASCII hierarchy rooted at the internal
+// root, annotating compute nodes with * and every edge with its bandwidth.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.render(&sb, t.root, NoNode, "", math.NaN())
+	return sb.String()
+}
+
+func (t *Tree) render(sb *strings.Builder, v, from NodeID, prefix string, bw float64) {
+	marker := ""
+	if t.compute[v] {
+		marker = " *"
+	}
+	if from == NoNode {
+		fmt.Fprintf(sb, "%s%s\n", t.names[v], marker)
+	} else {
+		fmt.Fprintf(sb, "%s%s [bw=%s]\n", t.names[v], marker, fmtBW(bw))
+	}
+	var kids []Half
+	for _, h := range t.adj[v] {
+		if h.To != from {
+			kids = append(kids, h)
+		}
+	}
+	for i, h := range kids {
+		connector, childPrefix := "├── ", prefix+"│   "
+		if i == len(kids)-1 {
+			connector, childPrefix = "└── ", prefix+"    "
+		}
+		sb.WriteString(prefix + connector)
+		t.render(sb, h.To, v, childPrefix, t.bw[h.Edge])
+	}
+}
+
+func fmtBW(w float64) string {
+	if math.IsInf(w, 1) {
+		return "inf"
+	}
+	if w == math.Trunc(w) && math.Abs(w) < 1e15 {
+		return fmt.Sprintf("%d", int64(w))
+	}
+	return fmt.Sprintf("%g", w)
+}
+
+// StringDirected renders G† as an ASCII hierarchy from its root, showing
+// the orientation produced by Orient.
+func (d *Directed) StringDirected() string {
+	var sb strings.Builder
+	var walk func(v NodeID, prefix string, last bool, first bool)
+	walk = func(v NodeID, prefix string, last, first bool) {
+		marker := ""
+		if d.t.IsCompute(v) {
+			marker = " *"
+		}
+		if first {
+			fmt.Fprintf(&sb, "%s%s (root of G†)\n", d.t.Name(v), marker)
+		} else {
+			connector := "├── "
+			if last {
+				connector = "└── "
+			}
+			fmt.Fprintf(&sb, "%s%s%s%s [w=%s]\n", prefix, connector, d.t.Name(v), marker, fmtBW(d.outBW[v]))
+		}
+		childPrefix := prefix
+		if !first {
+			if last {
+				childPrefix += "    "
+			} else {
+				childPrefix += "│   "
+			}
+		}
+		kids := d.children[v]
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	walk(d.root, "", true, true)
+	return sb.String()
+}
