@@ -1,32 +1,53 @@
 // Command topobench regenerates the paper's tables and figures as markdown
 // or aligned-text tables (the per-experiment index lives in DESIGN.md; the
-// recorded results live in EXPERIMENTS.md).
+// recorded results live in EXPERIMENTS.md). It can also time any task from
+// the protocol registry on a chosen topology (-task).
 //
 // Usage:
 //
 //	topobench -list
 //	topobench -run all -seed 42 -format md
 //	topobench -run E1,E8 -quick
+//	topobench -task sort -topo twotier -n 100000 -reps 5 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
+	"topompc"
+	"topompc/internal/cliutil"
 	"topompc/internal/exper"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed   = flag.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
-		quick  = flag.Bool("quick", false, "reduced sweeps")
-		format = flag.String("format", "text", "output format: text or md")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
+		quick   = flag.Bool("quick", false, "reduced sweeps")
+		format  = flag.String("format", "text", "output format: text or md")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		task    = flag.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
+		topo    = flag.String("topo", "twotier", "topology for -task: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		n       = flag.Int("n", 100000, "input size for -task")
+		place   = flag.String("place", "uniform", "placement for -task: uniform, zipf, oneheavy, single")
+		reps    = flag.Int("reps", 3, "timed repetitions for -task")
+		workers = flag.Int("workers", 0, "goroutine budget for -task (0 = all CPUs)")
+		bits    = flag.Int("bits", 0, "bit-width accounting for -task (0 = elements only)")
 	)
 	flag.Parse()
+
+	if *task != "" {
+		if err := timeTask(*task, *topo, *place, *n, *reps, *workers, *bits, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "topobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exper.All() {
@@ -70,4 +91,45 @@ func main() {
 			}
 		}
 	}
+}
+
+// timeTask runs one registry task repeatedly and reports model cost next
+// to wall-clock time, exercising the exchange-plan runtime end to end.
+func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64) error {
+	spec, ok := topompc.LookupTask(name)
+	if !ok {
+		return fmt.Errorf("unknown task %q (see toposim -list-tasks)", name)
+	}
+	tree, err := cliutil.ParseTopo(topo)
+	if err != nil {
+		return err
+	}
+	cluster := topompc.NewCluster(tree)
+	cluster.SetExecOptions(topompc.ExecOptions{Workers: workers, BitsPerElement: bits})
+	rng := rand.New(rand.NewSource(int64(seed)))
+	placer := cliutil.Placer(place, int64(seed))
+	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), n, 0, 0, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s: n=%d nodes=%d workers=%d reps=%d\n",
+		name, topo, n, cluster.NumNodes(), workers, reps)
+	var best time.Duration
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		res, err := cluster.RunTask(name, in)
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		fmt.Printf("  rep %d: %v  cost=%.3f  ratio=%.3f  [%s]\n",
+			rep+1, elapsed.Round(time.Microsecond), res.Cost.Cost, res.Cost.Ratio(), res.Summary)
+	}
+	fmt.Printf("best: %v (%.1f Melem/s)\n", best.Round(time.Microsecond),
+		float64(n)/best.Seconds()/1e6)
+	return nil
 }

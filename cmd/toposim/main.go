@@ -1,10 +1,13 @@
 // Command toposim runs one task on one topology and prints the per-round
-// cost accounting next to the instance lower bound.
+// cost accounting next to the instance lower bound. Any task registered in
+// the topompc protocol registry can be run by name.
 //
 // Usage:
 //
+//	toposim -list-tasks
 //	toposim -topo star:4x1 -task intersect -sizeR 1000 -sizeS 4000
 //	toposim -topo twotier -task sort -n 50000 -place zipf
+//	toposim -topo twotier -task aggregate -n 20000 -workers 4 -bits 64
 //	toposim -topo @cluster.json -task cartesian -n 4096
 package main
 
@@ -14,127 +17,68 @@ import (
 	"math/rand"
 	"os"
 
+	"topompc"
 	"topompc/internal/cliutil"
-	"topompc/internal/core/cartesian"
-	"topompc/internal/core/intersect"
-	"topompc/internal/core/sorting"
-	"topompc/internal/dataset"
-	"topompc/internal/lowerbound"
-	"topompc/internal/netsim"
 )
 
 func main() {
 	var (
-		topo  = flag.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
-		task  = flag.String("task", "intersect", "task: intersect, cartesian, sort")
-		n     = flag.Int("n", 10000, "total input size (sort: N; cartesian: N/2 per side)")
-		sizeR = flag.Int("sizeR", 0, "intersect: |R| (default n/4)")
-		sizeS = flag.Int("sizeS", 0, "intersect: |S| (default 3n/4)")
-		place = flag.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
-		seed  = flag.Int64("seed", 42, "random seed")
-		edges = flag.Bool("edges", false, "print the per-link utilization table")
+		topo      = flag.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		task      = flag.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
+		n         = flag.Int("n", 10000, "total input size (pair tasks split it between R and S)")
+		sizeR     = flag.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")
+		sizeS     = flag.Int("sizeS", 0, "pair tasks: |S| (default 3n/4, or n/2 for equal-pair tasks)")
+		place     = flag.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
+		seed      = flag.Int64("seed", 42, "random seed")
+		workers   = flag.Int("workers", 0, "goroutine budget for planning and accounting (0 = all CPUs)")
+		bits      = flag.Int("bits", 0, "report costs in bits at this element width (0 = elements only)")
+		edges     = flag.Bool("edges", false, "print the per-link utilization table")
+		listTasks = flag.Bool("list-tasks", false, "list registered tasks and exit")
 	)
 	flag.Parse()
-	showEdges = *edges
 
+	if *listTasks {
+		for _, t := range topompc.Tasks() {
+			fmt.Printf("%-20s %s\n", t.Name, t.Description)
+		}
+		return
+	}
+
+	spec, ok := topompc.LookupTask(*task)
+	if !ok {
+		fail(fmt.Errorf("unknown task %q (use -list-tasks)", *task))
+	}
 	tree, err := cliutil.ParseTopo(*topo)
 	if err != nil {
 		fail(err)
 	}
+	cluster := topompc.NewCluster(tree)
+	cluster.SetExecOptions(topompc.ExecOptions{Workers: *workers, BitsPerElement: *bits})
+
 	fmt.Println("topology:")
-	fmt.Print(tree)
+	fmt.Print(cluster)
 	fmt.Println()
 
 	rng := rand.New(rand.NewSource(*seed))
 	placer := cliutil.Placer(*place, *seed)
-	p := tree.NumCompute()
-
-	switch *task {
-	case "intersect":
-		r := *sizeR
-		s := *sizeS
-		if r == 0 {
-			r = *n / 4
-		}
-		if s == 0 {
-			s = 3 * *n / 4
-		}
-		rk, sk, err := dataset.SetPair(rng, r, s, r/10)
-		if err != nil {
-			fail(err)
-		}
-		pr, err := placer(rng, rk, p)
-		if err != nil {
-			fail(err)
-		}
-		ps, err := placer(rng, sk, p)
-		if err != nil {
-			fail(err)
-		}
-		res, err := intersect.Tree(tree, pr, ps, uint64(*seed))
-		if err != nil {
-			fail(err)
-		}
-		if err := intersect.Verify(pr, ps, res); err != nil {
-			fail(err)
-		}
-		lb := lowerbound.Intersection(tree, cliutil.Loads(tree, pr, ps), int64(r), int64(s))
-		fmt.Printf("set intersection: |R|=%d |S|=%d |R∩S|=%d blocks=%d\n", r, s, len(res.Output), len(res.Blocks))
-		report(res.Report, lb.Value)
-
-	case "cartesian":
-		half := *n / 2
-		rk := dataset.Distinct(rng, half)
-		sk := dataset.Distinct(rng, half)
-		pr, err := placer(rng, rk, p)
-		if err != nil {
-			fail(err)
-		}
-		ps, err := placer(rng, sk, p)
-		if err != nil {
-			fail(err)
-		}
-		res, err := cartesian.Tree(tree, pr, ps)
-		if err != nil {
-			fail(err)
-		}
-		if err := cartesian.Verify(tree, pr, ps, res); err != nil {
-			fail(err)
-		}
-		lb := lowerbound.Cartesian(tree, cliutil.Loads(tree, pr, ps))
-		fmt.Printf("cartesian product: |R|=|S|=%d pairs=%d strategy=%s\n", half, res.Pairs(), res.Strategy)
-		report(res.Report, lb.Value)
-
-	case "sort":
-		keys := dataset.Distinct(rng, *n)
-		data, err := placer(rng, keys, p)
-		if err != nil {
-			fail(err)
-		}
-		res, err := sorting.WTS(tree, data, uint64(*seed))
-		if err != nil {
-			fail(err)
-		}
-		if err := sorting.Verify(tree, data, res); err != nil {
-			fail(err)
-		}
-		lb := lowerbound.Sorting(tree, cliutil.Loads(tree, data))
-		fmt.Printf("sorting: N=%d strategy=%s\n", *n, res.Strategy)
-		report(res.Report, lb.Value)
-
-	default:
-		fail(fmt.Errorf("unknown task %q", *task))
+	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), *n, *sizeR, *sizeS, uint64(*seed))
+	if err != nil {
+		fail(err)
 	}
-}
 
-var showEdges bool
-
-func report(rep *netsim.Report, lb float64) {
-	fmt.Print(rep)
-	fmt.Printf("lower bound: %.3f   ratio: %.3f\n", lb, netsim.Ratio(rep.TotalCost(), lb))
-	if showEdges {
+	res, err := cluster.RunTask(spec.Name, in)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %s\n", spec.Name, res.Summary)
+	fmt.Print(res.Report)
+	fmt.Printf("lower bound: %.3f   ratio: %.3f\n", res.Cost.LowerBound, res.Cost.Ratio())
+	if res.Cost.Bits > 0 {
+		fmt.Printf("bit cost (%d b/elem): %.0f\n", *bits, res.Cost.Bits)
+	}
+	if *edges {
 		fmt.Println("\nper-link utilization:")
-		fmt.Print(rep.EdgeTable())
+		fmt.Print(res.Report.EdgeTable())
 	}
 }
 

@@ -3,6 +3,7 @@ package topompc
 import (
 	"topompc/internal/core/aggregate"
 	"topompc/internal/core/join"
+	"topompc/internal/netsim"
 )
 
 // This file exposes the extension tasks built on top of the paper's
@@ -24,6 +25,8 @@ type AggregateResult struct {
 	// Cost is the execution cost against the exact spanning-groups lower
 	// bound (each partial aggregate costs 2 wire elements).
 	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
 }
 
 // Aggregate computes per-group totals with the two-level (rack-combining)
@@ -31,7 +34,7 @@ type AggregateResult struct {
 // partition, then block partials are hashed globally. Two rounds.
 func (c *Cluster) Aggregate(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
 	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
-		return aggregate.TwoLevel(c.t, p, seed)
+		return aggregate.TwoLevel(c.t, p, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -39,7 +42,7 @@ func (c *Cluster) Aggregate(data [][]GroupValue, seed uint64) (*AggregateResult,
 // hashing (no rack combining), for comparison.
 func (c *Cluster) AggregateBaseline(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
 	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
-		return aggregate.Hash(c.t, p, seed)
+		return aggregate.Hash(c.t, p, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -61,7 +64,8 @@ func (c *Cluster) aggregateWith(data [][]GroupValue,
 	lb := aggregate.LowerBound(c.t, placement)
 	return &AggregateResult{
 		Totals: res.Totals(),
-		Cost:   costOf(res.Report, lb),
+		Cost:   c.costOf(res.Report, lb),
+		Report: res.Report,
 	}, nil
 }
 
@@ -82,6 +86,8 @@ type JoinResult struct {
 	// bound is claimed for joins; LowerBound is 0 and Ratio is +Inf unless
 	// the cost is 0.
 	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
 }
 
 // Join computes R ⋈ S on the join key with the topology-aware plan
@@ -89,7 +95,7 @@ type JoinResult struct {
 // key-groups are replicated across blocks). One round.
 func (c *Cluster) Join(r, s [][]Row, seed uint64) (*JoinResult, error) {
 	return c.joinWith(r, s, func(pr, ps join.Placement) (*join.Result, error) {
-		return join.Tree(c.t, pr, ps, seed)
+		return join.Tree(c.t, pr, ps, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -97,7 +103,7 @@ func (c *Cluster) Join(r, s [][]Row, seed uint64) (*JoinResult, error) {
 // join, for comparison.
 func (c *Cluster) JoinBaseline(r, s [][]Row, seed uint64) (*JoinResult, error) {
 	return c.joinWith(r, s, func(pr, ps join.Placement) (*join.Result, error) {
-		return join.UniformHash(c.t, pr, ps, seed)
+		return join.UniformHash(c.t, pr, ps, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -125,10 +131,7 @@ func (c *Cluster) joinWith(r, s [][]Row,
 	return &JoinResult{
 		Pairs:        res.TotalPairs(),
 		PairsPerNode: res.PerNode,
-		Cost: Cost{
-			Rounds:   res.Report.NumRounds(),
-			Cost:     res.Report.TotalCost(),
-			Elements: res.Report.TotalElements(),
-		},
+		Cost:         c.costOf(res.Report, 0),
+		Report:       res.Report,
 	}, nil
 }

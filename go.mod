@@ -1,0 +1,3 @@
+module topompc
+
+go 1.23

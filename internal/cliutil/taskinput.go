@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"math/rand"
+
+	"topompc"
+	"topompc/internal/dataset"
+)
+
+// TaskData generates a TaskInput for a registry task: pair tasks get an
+// (R, S) set pair sized by sizeR/sizeS (0 means the task-appropriate split
+// of n), single-relation tasks get n keys, low-cardinality when the task
+// asks for duplicates. Placement is applied per relation over p compute
+// nodes.
+func TaskData(spec topompc.Task, rng *rand.Rand, placer PlaceFunc, p, n, sizeR, sizeS int, seed uint64) (topompc.TaskInput, error) {
+	in := topompc.TaskInput{Seed: seed}
+	switch spec.Kind {
+	case topompc.TaskPair:
+		r, s := sizeR, sizeS
+		if r == 0 {
+			if spec.WantsEqualPair {
+				r = n / 2
+			} else {
+				r = n / 4
+			}
+		}
+		if s == 0 {
+			if spec.WantsEqualPair {
+				s = n / 2
+			} else {
+				s = 3 * n / 4
+			}
+		}
+		rk, sk, err := dataset.SetPair(rng, r, s, r/10)
+		if err != nil {
+			return in, err
+		}
+		if in.R, err = placer(rng, rk, p); err != nil {
+			return in, err
+		}
+		if in.S, err = placer(rng, sk, p); err != nil {
+			return in, err
+		}
+	case topompc.TaskSingle:
+		keys := dataset.Distinct(rng, n)
+		if spec.WantsDuplicates {
+			// Low-cardinality instance: draw n keys from an n/8 pool so
+			// groups span the topology and the lower bound is non-trivial.
+			pool := dataset.Distinct(rng, max(1, n/8))
+			for i := range keys {
+				keys[i] = pool[rng.Intn(len(pool))]
+			}
+		}
+		var err error
+		if in.Data, err = placer(rng, keys, p); err != nil {
+			return in, err
+		}
+	}
+	return in, nil
+}

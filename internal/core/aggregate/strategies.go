@@ -10,7 +10,7 @@ import (
 // Hash aggregates in one round: every node sends each of its local partial
 // aggregates to the group's hash target, weighted by the nodes' distinct
 // group counts so that busy nodes also host proportionally many groups.
-func Hash(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
+func Hash(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -23,9 +23,9 @@ func Hash(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := indexOf(in.nodes, v)
 		byDst := make(map[topology.NodeID][]uint64)
 		for _, g := range sortedGroups(in.local[i]) {
@@ -38,7 +38,7 @@ func Hash(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return collect(e, in, "hash"), nil
 }
 
@@ -47,7 +47,7 @@ func Hash(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 // block members, weighted by their group counts), then the combined block
 // partials are hashed globally. Bottlenecked inter-block links carry each
 // group once per block instead of once per node.
-func TwoLevel(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
+func TwoLevel(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -72,10 +72,10 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 		}
 	}
 
-	e := netsim.NewEngine(t)
+	e := netsim.NewEngine(t, opts...)
 	// Round 1: combine within blocks.
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := indexOf(in.nodes, v)
 		b := blockOf[v]
 		members := blocks[b]
@@ -90,7 +90,7 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	// Block-combined partials per node.
 	combined := make([]map[uint64]int64, len(in.nodes))
@@ -111,8 +111,8 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rd = e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x = e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := indexOf(in.nodes, v)
 		byDst := make(map[topology.NodeID][]uint64)
 		for _, g := range sortedGroups(combined[i]) {
@@ -125,12 +125,12 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64) (*Result, error) {
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return collect(e, in, "twolevel"), nil
 }
 
 // Gather ships every local partial to one node.
-func Gather(t *topology.Tree, data Placement, target topology.NodeID) (*Result, error) {
+func Gather(t *topology.Tree, data Placement, target topology.NodeID, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -144,15 +144,15 @@ func Gather(t *topology.Tree, data Placement, target topology.NodeID) (*Result, 
 		}
 		target = in.nodes[best]
 	}
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := indexOf(in.nodes, v)
 		if len(in.local[i]) > 0 {
 			out.Send(target, netsim.TagData, partialMsg(in.local[i], sortedGroups(in.local[i])))
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return collect(e, in, "gather"), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"topompc/internal/dataset"
+	"topompc/internal/netsim"
 	"topompc/internal/topology"
 )
 
@@ -12,11 +13,12 @@ import (
 // every node gets the same square side regardless of link bandwidths or
 // data placement — the classic MPC strategy for p symmetric workers. Used
 // as the comparison point for the weighted protocols (experiment E10/A4).
-func UniformGrid(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+func UniformGrid(t *topology.Tree, r, s dataset.Placement, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
 	}
+	in.opts = opts
 	if in.sizeR != in.sizeS {
 		return nil, fmt.Errorf("cartesian: UniformGrid requires |R| = |S| (got %d, %d)", in.sizeR, in.sizeS)
 	}
@@ -46,11 +48,12 @@ func UniformGrid(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
 
 // Gather ships everything to one compute node, which enumerates the whole
 // grid. With target = NoNode the node holding the most data is chosen.
-func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*Result, error) {
+func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
 	}
+	in.opts = opts
 	if in.sizeR == 0 || in.sizeS == 0 {
 		return emptyResult(in), nil
 	}

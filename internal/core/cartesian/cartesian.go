@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"topompc/internal/dataset"
+	"topompc/internal/netsim"
 	"topompc/internal/topology"
 )
 
@@ -164,6 +165,7 @@ type instance struct {
 	loads topology.Loads // N_v = |R_v| + |S_v|
 	offR  []int64        // global rank offset of each node's R fragment
 	offS  []int64
+	opts  []netsim.Option // engine options for the distribution round
 }
 
 func newInstance(t *topology.Tree, r, s dataset.Placement) (*instance, error) {

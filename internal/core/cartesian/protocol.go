@@ -54,14 +54,14 @@ func distribute(in *instance, rects []Rect, strategy string) (*Result, error) {
 	xSegs := segments(rects, in.sizeR, func(r Rect) (int64, int64) { return r.X0, r.X1 }, in.nodes)
 	ySegs := segments(rects, in.sizeS, func(r Rect) (int64, int64) { return r.Y0, r.Y1 }, in.nodes)
 
-	e := netsim.NewEngine(in.t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(in.t, in.opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := nodeIndexOf(in.nodes, v)
 		sendAxis(out, xSegs, in.offR[i], in.r[i], netsim.TagR)
 		sendAxis(out, ySegs, in.offS[i], in.s[i], netsim.TagS)
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := &Result{
 		Rects:    rects,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"topompc/internal/dataset"
+	"topompc/internal/netsim"
 	"topompc/internal/topology"
 )
 
@@ -15,7 +16,7 @@ import (
 // Lemma 5, and distributes the tuples in a single deterministic round.
 //
 // Lemma 7: the cost is within O(1) of the optimum.
-func Star(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+func Star(t *topology.Tree, r, s dataset.Placement, opts ...netsim.Option) (*Result, error) {
 	if err := requireStar(t); err != nil {
 		return nil, err
 	}
@@ -23,6 +24,7 @@ func Star(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	in.opts = opts
 	if in.sizeR != in.sizeS {
 		return nil, fmt.Errorf("cartesian: Star requires |R| = |S| (got %d, %d); use Unequal", in.sizeR, in.sizeS)
 	}

@@ -17,11 +17,12 @@ import (
 //
 // Theorem 5: the cost matches the larger of the Theorem 3 and Theorem 4
 // lower bounds up to a constant factor.
-func Tree(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+func Tree(t *topology.Tree, r, s dataset.Placement, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
 	}
+	in.opts = opts
 	if in.sizeR != in.sizeS {
 		return nil, fmt.Errorf("cartesian: Tree requires |R| = |S| (got %d, %d); the unequal case on general trees is open (§4.5)", in.sizeR, in.sizeS)
 	}
@@ -108,6 +109,7 @@ func normalizeInstance(in *instance) (*normalized, error) {
 	if err != nil {
 		return nil, err
 	}
+	in2.opts = in.opts
 	// Keep the original global rank labeling so rectangle coordinates mean
 	// the same thing on both trees: fragment j keeps the offsets it had at
 	// its original index. Offsets only need to tile [0, size) disjointly.

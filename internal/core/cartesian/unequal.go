@@ -7,6 +7,7 @@ import (
 
 	"topompc/internal/dataset"
 	"topompc/internal/lowerbound"
+	"topompc/internal/netsim"
 	"topompc/internal/topology"
 )
 
@@ -26,7 +27,7 @@ import (
 //
 // The smaller relation is always placed on the X axis internally; results
 // are transposed back when |S| < |R|.
-func Unequal(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+func Unequal(t *topology.Tree, r, s dataset.Placement, opts ...netsim.Option) (*Result, error) {
 	if err := requireStar(t); err != nil {
 		return nil, err
 	}
@@ -34,6 +35,7 @@ func Unequal(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	in.opts = opts
 	if in.sizeR == 0 || in.sizeS == 0 {
 		return emptyResult(in), nil
 	}

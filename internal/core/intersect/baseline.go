@@ -13,7 +13,7 @@ import (
 // Optimal in the MPC model under uniform initial distribution, it can be
 // far from optimal on heterogeneous trees — the comparison is experiment
 // E10 of DESIGN.md.
-func UniformHash(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+func UniformHash(t *topology.Tree, r, s dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
@@ -30,9 +30,9 @@ func UniformHash(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result
 		return nil, err
 	}
 	idx := in.nodeIndex()
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		parts := []struct {
 			frag []uint64
@@ -52,14 +52,14 @@ func UniformHash(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return finish(e, in, nil), nil
 }
 
 // BroadcastSmaller replicates the smaller relation to every compute node;
 // the larger relation never moves. One round; cost ≥ |R| on every link into
 // a node holding S-data, so it is optimal only when |R| is tiny.
-func BroadcastSmaller(t *topology.Tree, r, s dataset.Placement) (*Result, error) {
+func BroadcastSmaller(t *topology.Tree, r, s dataset.Placement, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
@@ -69,22 +69,22 @@ func BroadcastSmaller(t *topology.Tree, r, s dataset.Placement) (*Result, error)
 	}
 	idx := in.nodeIndex()
 	all := append([]topology.NodeID(nil), in.nodes...)
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if len(in.rel0[i]) > 0 {
 			out.Multicast(all, netsim.TagR, in.rel0[i])
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return finish(e, in, func(i int) []uint64 { return in.rel1[i] }), nil
 }
 
 // Gather ships both relations to a single compute node, which computes the
 // intersection locally. With target = NoNode the node holding the most data
 // is chosen (minimizing moved elements).
-func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*Result, error) {
+func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
@@ -100,9 +100,9 @@ func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*
 		}
 	}
 	idx := in.nodeIndex()
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if len(in.rel0[i]) > 0 {
 			out.Send(target, netsim.TagR, in.rel0[i])
@@ -111,6 +111,6 @@ func Gather(t *topology.Tree, r, s dataset.Placement, target topology.NodeID) (*
 			out.Send(target, netsim.TagS, in.rel1[i])
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	return finish(e, in, nil), nil
 }

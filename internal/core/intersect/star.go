@@ -18,7 +18,7 @@ import (
 // copy of R locally.
 //
 // Lemma 1: the cost is within O(log N · log |V|) of optimal w.h.p.
-func Star(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+func Star(t *topology.Tree, r, s dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	if err := requireStar(t); err != nil {
 		return nil, err
 	}
@@ -70,9 +70,9 @@ func Star(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error
 		return nil, fmt.Errorf("intersect: %w", err)
 	}
 
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		// R-tuples: multicast each to V_β ∪ {h(a)}. Batch by hash target:
 		// the V_β part of the destination set is shared.
@@ -107,7 +107,7 @@ func Star(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	// β-nodes keep their S fragment locally; feed it into the final
 	// intersection as extra S data.

@@ -18,20 +18,20 @@ import (
 //
 // Theorem 2: the cost is within O(log N · log |V|) of the Theorem 1 lower
 // bound with high probability.
-func Tree(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
-	return treeWithBlocks(t, r, s, seed, nil)
+func Tree(t *topology.Tree, r, s dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return treeWithBlocks(t, r, s, seed, nil, opts)
 }
 
 // TreeNoPartition runs Algorithm 2 with the balanced partition disabled
 // (one global block hashing over all compute nodes). It is correct but
 // loses the per-block locality Theorem 2 relies on; used by the A2
 // ablation.
-func TreeNoPartition(t *topology.Tree, r, s dataset.Placement, seed uint64) (*Result, error) {
+func TreeNoPartition(t *topology.Tree, r, s dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	single := [][]topology.NodeID{append([]topology.NodeID(nil), t.ComputeNodes()...)}
-	return treeWithBlocks(t, r, s, seed, single)
+	return treeWithBlocks(t, r, s, seed, single, opts)
 }
 
-func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, blocks [][]topology.NodeID) (*Result, error) {
+func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, blocks [][]topology.NodeID, opts []netsim.Option) (*Result, error) {
 	in, err := newInstance(t, r, s)
 	if err != nil {
 		return nil, err
@@ -60,9 +60,9 @@ func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, block
 	}
 
 	idx := in.nodeIndex()
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		// Smaller relation: each key goes to one node per block; batch keys
 		// sharing the same destination vector into one multicast.
@@ -118,7 +118,7 @@ func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, block
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := finish(e, in, nil)
 	res.Blocks = blocks

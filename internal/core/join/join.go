@@ -144,7 +144,7 @@ func decode(keys []uint64) []Tuple {
 // Tree joins R and S on an arbitrary symmetric tree with the
 // TreeIntersect-style routing described in the package comment. seed drives
 // the shared hash functions.
-func Tree(t *topology.Tree, r, s Placement, seed uint64) (*Result, error) {
+func Tree(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	nodes := t.ComputeNodes()
 	if len(r) != len(nodes) || len(s) != len(nodes) {
 		return nil, fmt.Errorf("join: placements cover %d/%d nodes, tree has %d compute nodes",
@@ -206,9 +206,9 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64) (*Result, error) {
 		idx[v] = i
 	}
 
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		// Smaller side: group tuples by destination vector across blocks.
 		type group struct {
@@ -251,7 +251,7 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64) (*Result, error) {
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := &Result{
 		PerNode: make([]int64, len(nodes)),
@@ -299,7 +299,7 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64) (*Result, error) {
 
 // UniformHash is the topology-oblivious baseline: both relations are hashed
 // by key uniformly over all compute nodes.
-func UniformHash(t *topology.Tree, r, s Placement, seed uint64) (*Result, error) {
+func UniformHash(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	nodes := t.ComputeNodes()
 	if len(r) != len(nodes) || len(s) != len(nodes) {
 		return nil, fmt.Errorf("join: placements cover %d/%d nodes, tree has %d compute nodes",
@@ -317,9 +317,9 @@ func UniformHash(t *topology.Tree, r, s Placement, seed uint64) (*Result, error)
 	for i, v := range nodes {
 		idx[v] = i
 	}
-	e := netsim.NewEngine(t)
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	e := netsim.NewEngine(t, opts...)
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		for _, part := range []struct {
 			frag []Tuple
@@ -337,7 +337,7 @@ func UniformHash(t *topology.Tree, r, s Placement, seed uint64) (*Result, error)
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := &Result{
 		PerNode: make([]int64, len(nodes)),

@@ -134,17 +134,17 @@ func sortU64(keys []uint64) {
 // gather ships everything to one node (the holder of the most data unless
 // target is given), which sorts locally. Trivially a valid ordering: every
 // other node is empty.
-func gather(in *instance, target int, strategy string) (*Result, error) {
-	e := netsim.NewEngine(in.t)
+func gather(in *instance, target int, strategy string, opts []netsim.Option) (*Result, error) {
+	e := netsim.NewEngine(in.t, opts...)
 	idx := in.indexOf()
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if len(in.data[i]) > 0 {
 			out.Send(in.nodes[target], netsim.TagData, in.data[i])
 		}
 	})
-	rd.Finish()
+	x.Execute()
 	res := &Result{
 		PerNode:  make([][]uint64, len(in.nodes)),
 		Order:    in.t.LeftToRight(),
@@ -162,7 +162,7 @@ func gather(in *instance, target int, strategy string) (*Result, error) {
 
 // Gather is the gather-to-one baseline. With target = NoNode the node
 // holding the most data is chosen.
-func Gather(t *topology.Tree, data dataset.Placement, target topology.NodeID) (*Result, error) {
+func Gather(t *topology.Tree, data dataset.Placement, target topology.NodeID, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -186,5 +186,5 @@ func Gather(t *topology.Tree, data dataset.Placement, target topology.NodeID) (*
 			return nil, fmt.Errorf("sorting: target %v is not a compute node", target)
 		}
 	}
-	return gather(in, idx, "gather")
+	return gather(in, idx, "gather", opts)
 }

@@ -15,7 +15,7 @@ import (
 // sample quantiles as splitters, and all nodes redistribute so node v_i
 // receives the i-th key range. All |VC| nodes participate with equal
 // shares regardless of bandwidth or initial placement.
-func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, error) {
+func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -38,7 +38,7 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, e
 		rho = 1
 	}
 
-	e := netsim.NewEngine(t)
+	e := netsim.NewEngine(t, opts...)
 
 	// Round 1: sample and send to the coordinator.
 	sampleSets := make([][]uint64, len(in.nodes))
@@ -50,14 +50,14 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, e
 			}
 		}
 	}
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if len(sampleSets[i]) > 0 {
 			out.Send(coordinator, netsim.TagSample, sampleSets[i])
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	// Round 2: coordinator broadcasts |VC|−1 uniform splitters.
 	var samples []uint64
@@ -66,16 +66,16 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, e
 	}
 	sortU64(samples)
 	splitters := uniformSplitters(samples, p)
-	rd = e.BeginRound()
+	x = e.Exchange()
 	if len(splitters) > 0 && len(order) > 1 {
-		rd.Multicast(coordinator, order[1:], netsim.TagSplitter, splitters)
+		x.Out(coordinator).Multicast(order[1:], netsim.TagSplitter, splitters)
 	}
-	rd.Finish()
+	x.Execute()
 
 	// Round 3: redistribute by splitter interval; node order[j] receives
 	// interval j. Everyone sorts locally.
-	rd = e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x = e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		buckets := make([][]uint64, p)
 		for _, x := range in.data[i] {
@@ -87,7 +87,7 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, e
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := &Result{
 		PerNode:  make([][]uint64, len(in.nodes)),

@@ -26,8 +26,8 @@ import (
 // everything instead; and when no node qualifies as heavy (the input is far
 // below the Theorem 7 regime N ≥ 4|VC|²ln(|VC|N)), the protocol degrades
 // to gathering at the largest holder.
-func WTS(t *topology.Tree, data dataset.Placement, seed uint64) (*Result, error) {
-	return WTSWithOpts(t, data, seed, Opts{})
+func WTS(t *topology.Tree, data dataset.Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return WTSWithOpts(t, data, seed, Opts{}, opts...)
 }
 
 // Opts tunes WTS for ablation experiments.
@@ -39,7 +39,7 @@ type Opts struct {
 }
 
 // WTSWithOpts is WTS with ablation options.
-func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opts) (*Result, error) {
+func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opts, eopts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -58,7 +58,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 	// Paper's improvement: a majority holder gathers everything.
 	for i, v := range in.nodes {
 		if 2*in.loads[v] > in.total {
-			return gather(in, i, "gather")
+			return gather(in, i, "gather", eopts)
 		}
 	}
 
@@ -80,7 +80,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 				best = i
 			}
 		}
-		return gather(in, best, "gather")
+		return gather(in, best, "gather", eopts)
 	}
 	k := len(heavy)
 	heavySizes := make([]int64, k)
@@ -92,11 +92,11 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 		isHeavy[i] = true
 	}
 
-	e := netsim.NewEngine(t)
+	e := netsim.NewEngine(t, eopts...)
 
 	// Round 1: light → heavy, proportional slices.
-	rd := e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if isHeavy[i] || len(in.data[i]) == 0 {
 			return
@@ -117,7 +117,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 			off += c
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	// Heavy node j's working set M_j: its own data plus round-1 deliveries.
 	working := make([][]uint64, k)
@@ -143,8 +143,8 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 			}
 		}
 	}
-	rd = e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x = e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if !isHeavy[i] {
 			return
@@ -155,7 +155,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	// Round 3: v₁ computes and broadcasts the splitters.
 	var allSamples []uint64
@@ -167,22 +167,22 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 	sortU64(allSamples)
 	splitters := chooseSplitters(allSamples, p, in.total, working)
 
-	rd = e.BeginRound()
+	x = e.Exchange()
 	if len(splitters) > 0 {
 		dsts := make([]topology.NodeID, 0, k-1)
 		for _, i := range heavy[1:] {
 			dsts = append(dsts, in.nodes[i])
 		}
 		if len(dsts) > 0 {
-			rd.Multicast(coordinator, dsts, netsim.TagSplitter, splitters)
+			x.Out(coordinator).Multicast(dsts, netsim.TagSplitter, splitters)
 		}
 	}
-	rd.Finish()
+	x.Execute()
 
 	// Round 4: redistribute by splitter interval; heavy node j takes
 	// [splitters[j-1], splitters[j]).
-	rd = e.BeginRound()
-	rd.Parallel(func(v topology.NodeID, out *netsim.Outbox) {
+	x = e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 		i := idx[v]
 		if !isHeavy[i] {
 			return
@@ -204,7 +204,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 			}
 		}
 	})
-	rd.Finish()
+	x.Execute()
 
 	res := &Result{
 		PerNode:  make([][]uint64, len(in.nodes)),

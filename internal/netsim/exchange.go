@@ -1,0 +1,273 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"topompc/internal/topology"
+)
+
+// Exchange is a planned communication round: protocols declare every
+// transfer of the round up front — batched unicasts and multicasts per
+// sender — and Execute then routes, accounts, and delivers the whole plan
+// in one pass.
+//
+// Unlike the per-message Round API, which walks the tree path of every
+// Send (O(depth) each), Execute aggregates per-edge traffic with
+// tree-difference counting over the LCA index: each unicast contributes
+// O(1) node deltas, each multicast charges its Steiner tree through the
+// terminal virtual tree, and a single subtree-sum sweep produces the edge
+// counts — O(V + M) for M transfers. Accounting is sharded across workers
+// by sender; determinism is preserved because per-edge sums are
+// order-independent and deliveries are merged in compute-node order
+// exactly as Round.Parallel does.
+//
+// An Exchange and a Round cannot be open on the same engine at once; the
+// exchange occupies the engine from Exchange() until Execute().
+type Exchange struct {
+	e    *Engine
+	outs []Outbox // one per compute node, in ComputeNodes order
+	done bool
+}
+
+// Exchange opens a planned round. Transfers read the inboxes of the
+// previous round; deliveries become visible when Execute is called.
+func (e *Engine) Exchange() *Exchange {
+	if e.inRound {
+		panic("netsim: Exchange while a round is open")
+	}
+	e.inRound = true
+	return &Exchange{e: e, outs: make([]Outbox, e.t.NumCompute())}
+}
+
+// Out returns the outbox of compute node v for direct planning (e.g. a
+// coordinator broadcasting splitters). The outbox stays valid until
+// Execute.
+func (x *Exchange) Out(v topology.NodeID) *Outbox {
+	if x.done {
+		panic("netsim: Out on executed exchange")
+	}
+	i := x.e.cindex[v]
+	if i < 0 {
+		panic(fmt.Sprintf("netsim: sender %d is not a compute node", v))
+	}
+	return &x.outs[i]
+}
+
+// Plan runs fn concurrently for every compute node, collecting the queued
+// transfers into the node's outbox. fn typically reads Engine.Inbox(v)
+// (safe: inboxes are read-only during an exchange) plus protocol-local
+// state for v, performs local computation, and queues sends. Plan may be
+// called several times; transfers accumulate.
+func (x *Exchange) Plan(fn func(v topology.NodeID, out *Outbox)) {
+	if x.done {
+		panic("netsim: Plan on executed exchange")
+	}
+	nodes := x.e.t.ComputeNodes()
+	workers := x.e.workerCount(len(nodes))
+	if workers <= 1 {
+		for i, v := range nodes {
+			fn(v, &x.outs[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(nodes[i], &x.outs[i])
+			}
+		}()
+	}
+	for i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// shardTally is one worker's accounting state: a path accumulator for edge
+// traffic plus per-node sent/received counters and a private stamp set for
+// multicast destination dedup.
+type shardTally struct {
+	acc      *topology.PathAccumulator
+	sent     []int64
+	received []int64
+	stamp    []int32
+	cur      int32
+	terms    []topology.NodeID
+	err      error
+}
+
+// tallyOps accounts every op of the outboxes in [lo, hi) into the shard.
+func (x *Exchange) tallyOps(s *shardTally, lo, hi int) {
+	t := x.e.t
+	nodes := t.ComputeNodes()
+	for i := lo; i < hi; i++ {
+		from := nodes[i]
+		for _, op := range x.outs[i].ops {
+			n := int64(len(op.keys))
+			if !op.multicast {
+				if x.e.cindex[op.to] < 0 {
+					s.err = fmt.Errorf("netsim: receiver %d is not a compute node", op.to)
+					return
+				}
+				if op.to != from {
+					s.acc.AddPath(from, op.to, n)
+					s.sent[from] += n
+					s.received[op.to] += n
+				}
+				continue
+			}
+			// Multicast: charge the Steiner tree of {from} ∪ dsts once and
+			// count one delivery per distinct destination.
+			s.cur++
+			if s.cur == 0 {
+				for j := range s.stamp {
+					s.stamp[j] = -1
+				}
+				s.cur = 1
+			}
+			s.terms = append(s.terms[:0], from)
+			external := false
+			for _, d := range op.dsts {
+				if x.e.cindex[d] < 0 {
+					s.err = fmt.Errorf("netsim: receiver %d is not a compute node", d)
+					return
+				}
+				if s.stamp[d] == s.cur {
+					continue
+				}
+				s.stamp[d] = s.cur
+				if d != from {
+					external = true
+					s.received[d] += n
+				}
+				s.terms = append(s.terms, d)
+			}
+			if external {
+				// The sender emits one copy into the network; routers
+				// replicate along the Steiner tree.
+				s.sent[from] += n
+				s.acc.AddSteiner(s.terms, n)
+			}
+		}
+	}
+}
+
+// shard returns the engine's cached tally state for worker w, creating it
+// on first use. The accumulator and stamp set self-reset between rounds;
+// sent/received are zeroed after each merge.
+func (e *Engine) shard(w int) *shardTally {
+	for len(e.tallyCache) <= w {
+		e.tallyCache = append(e.tallyCache, &shardTally{
+			acc:      topology.NewPathAccumulator(e.t),
+			sent:     make([]int64, e.t.NumNodes()),
+			received: make([]int64, e.t.NumNodes()),
+			stamp:    make([]int32, e.t.NumNodes()),
+		})
+	}
+	return e.tallyCache[w]
+}
+
+// Execute routes all declared transfers: per-edge traffic is aggregated in
+// O(V + M) with sharded accumulators, deliveries are merged into the
+// inboxes in compute-node order, and the round is committed. The exchange
+// cannot be reused afterwards.
+func (x *Exchange) Execute() RoundStats {
+	if x.done {
+		panic("netsim: Execute called twice")
+	}
+	x.done = true
+	e := x.e
+	t := e.t
+	numNodes := t.NumNodes()
+
+	// Sharded accounting: each worker tallies a contiguous range of sender
+	// outboxes into its own accumulator and counters. Shard scratch is
+	// cached on the engine; only the three arrays retained by RoundStats
+	// are allocated per round.
+	workers := e.workerCount(len(x.outs))
+	shards := make([]*shardTally, workers)
+	for w := range shards {
+		shards[w] = e.shard(w)
+	}
+	if workers <= 1 {
+		x.tallyOps(shards[0], 0, len(x.outs))
+	} else {
+		var wg sync.WaitGroup
+		per := (len(x.outs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > len(x.outs) {
+				hi = len(x.outs)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(s *shardTally, lo, hi int) {
+				defer wg.Done()
+				x.tallyOps(s, lo, hi)
+			}(shards[w], lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, s := range shards {
+		if s.err != nil {
+			msg := s.err.Error()
+			s.err = nil
+			panic(msg)
+		}
+	}
+
+	// Merge shards into the retained per-round arrays, resolving edge
+	// traffic with one subtree-sum sweep, and drain the shard counters for
+	// the next round.
+	traffic := make([]int64, t.NumEdges())
+	sent := make([]int64, numNodes)
+	received := make([]int64, numNodes)
+	for w, s := range shards {
+		if w > 0 {
+			shards[0].acc.MergeFrom(s.acc)
+		}
+		for v := range s.sent {
+			sent[v] += s.sent[v]
+			received[v] += s.received[v]
+			s.sent[v] = 0
+			s.received[v] = 0
+		}
+	}
+	shards[0].acc.FlushInto(traffic)
+
+	// Deliveries, merged in compute-node order (then op order) so inbox
+	// ordering is deterministic and identical to the per-message Round API.
+	messages := 0
+	var elements int64
+	nodes := t.ComputeNodes()
+	for i, v := range nodes {
+		for _, op := range x.outs[i].ops {
+			if !op.multicast {
+				messages++
+				elements += int64(len(op.keys))
+				e.inboxNext[op.to] = append(e.inboxNext[op.to], Message{From: v, To: op.to, Tag: op.tag, Keys: op.keys})
+				continue
+			}
+			stamp := e.nextStamp()
+			for _, d := range op.dsts {
+				if e.dupStamp[d] == stamp {
+					continue
+				}
+				e.dupStamp[d] = stamp
+				messages++
+				elements += int64(len(op.keys))
+				e.inboxNext[d] = append(e.inboxNext[d], Message{From: v, To: d, Tag: op.tag, Keys: op.keys})
+			}
+		}
+	}
+
+	return e.commitRound(traffic, sent, received, messages, elements)
+}

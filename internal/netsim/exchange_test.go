@@ -1,0 +1,378 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+// randomOpTree builds a random all-compute tree for equivalence fuzzing.
+func randomOpTree(tb testing.TB, rng *rand.Rand, n int) *topology.Tree {
+	b := topology.NewBuilder()
+	ids := make([]topology.NodeID, n)
+	ids[0] = b.Compute("")
+	for i := 1; i < n; i++ {
+		ids[i] = b.Compute("")
+		b.Link(ids[i], ids[rng.Intn(i)], 1+float64(rng.Intn(4)))
+	}
+	t, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+// op is one randomly generated transfer for replay on both engines.
+type fuzzOp struct {
+	from topology.NodeID
+	to   topology.NodeID
+	dsts []topology.NodeID // nil for unicast
+	tag  Tag
+	keys []uint64
+}
+
+func randomOps(rng *rand.Rand, t *topology.Tree, count int) []fuzzOp {
+	vs := t.ComputeNodes()
+	ops := make([]fuzzOp, 0, count)
+	for i := 0; i < count; i++ {
+		from := vs[rng.Intn(len(vs))]
+		keys := make([]uint64, rng.Intn(5)) // zero-length payloads included
+		for k := range keys {
+			keys[k] = rng.Uint64()
+		}
+		if rng.Intn(2) == 0 {
+			ops = append(ops, fuzzOp{from: from, to: vs[rng.Intn(len(vs))], tag: Tag(rng.Intn(3)), keys: keys})
+		} else {
+			dsts := make([]topology.NodeID, rng.Intn(4)) // may be empty, contain dups and self
+			for d := range dsts {
+				dsts[d] = vs[rng.Intn(len(vs))]
+			}
+			ops = append(ops, fuzzOp{from: from, dsts: dsts, tag: Tag(rng.Intn(3)), keys: keys})
+		}
+	}
+	return ops
+}
+
+// statsEqual compares every field of two round stats.
+func statsEqual(tb testing.TB, got, want RoundStats) {
+	tb.Helper()
+	if !reflect.DeepEqual(got.EdgeElems, want.EdgeElems) {
+		tb.Fatalf("EdgeElems: got %v, want %v", got.EdgeElems, want.EdgeElems)
+	}
+	if !reflect.DeepEqual(got.NodeSent, want.NodeSent) {
+		tb.Fatalf("NodeSent: got %v, want %v", got.NodeSent, want.NodeSent)
+	}
+	if !reflect.DeepEqual(got.NodeReceived, want.NodeReceived) {
+		tb.Fatalf("NodeReceived: got %v, want %v", got.NodeReceived, want.NodeReceived)
+	}
+	if got.Cost != want.Cost {
+		tb.Fatalf("Cost: got %v, want %v", got.Cost, want.Cost)
+	}
+	if got.BottleneckEdge != want.BottleneckEdge {
+		tb.Fatalf("BottleneckEdge: got %v, want %v", got.BottleneckEdge, want.BottleneckEdge)
+	}
+	if got.Messages != want.Messages {
+		tb.Fatalf("Messages: got %d, want %d", got.Messages, want.Messages)
+	}
+	if got.Elements != want.Elements {
+		tb.Fatalf("Elements: got %d, want %d", got.Elements, want.Elements)
+	}
+}
+
+// TestExchangeMatchesRound replays random op batches through the legacy
+// per-message Round API and the planned Exchange and requires identical
+// statistics and identical inboxes (contents and order).
+func TestExchangeMatchesRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		tr := randomOpTree(t, rng, 2+rng.Intn(40))
+		ops := randomOps(rng, tr, rng.Intn(120))
+
+		legacy := NewEngine(tr)
+		rd := legacy.BeginRound()
+		for _, o := range ops {
+			if o.dsts == nil {
+				rd.Send(o.from, o.to, o.tag, o.keys)
+			} else {
+				rd.Multicast(o.from, o.dsts, o.tag, o.keys)
+			}
+		}
+		wantStats := rd.Finish()
+
+		// The Round API accounts ops in issue order; the Exchange plans them
+		// per sender and merges in compute-node order. Per-sender op order is
+		// preserved, and edge sums are order-independent, so grouping by
+		// sender must not change anything — but inbox interleaving across
+		// senders differs unless the legacy ops are issued in sender order
+		// too. Re-issue legacy ops grouped by sender for the inbox check.
+		legacyOrdered := NewEngine(tr)
+		rd2 := legacyOrdered.BeginRound()
+		x := NewEngine(tr).Exchange()
+		for _, v := range tr.ComputeNodes() {
+			for _, o := range ops {
+				if o.from != v {
+					continue
+				}
+				if o.dsts == nil {
+					rd2.Send(o.from, o.to, o.tag, o.keys)
+					x.Out(o.from).Send(o.to, o.tag, o.keys)
+				} else {
+					rd2.Multicast(o.from, o.dsts, o.tag, o.keys)
+					x.Out(o.from).Multicast(o.dsts, o.tag, o.keys)
+				}
+			}
+		}
+		wantOrdered := rd2.Finish()
+		gotStats := x.Execute()
+
+		statsEqual(t, gotStats, wantOrdered)
+		// Aggregate sums are also identical to the unordered issue order.
+		statsEqual(t, RoundStats{
+			EdgeElems: gotStats.EdgeElems, NodeSent: gotStats.NodeSent,
+			NodeReceived: gotStats.NodeReceived, Cost: gotStats.Cost,
+			BottleneckEdge: gotStats.BottleneckEdge,
+			Messages:       gotStats.Messages, Elements: gotStats.Elements,
+		}, wantStats)
+
+		xe := x.e
+		for _, v := range tr.ComputeNodes() {
+			if !reflect.DeepEqual(xe.Inbox(v), legacyOrdered.Inbox(v)) {
+				t.Fatalf("trial %d: inbox of %d differs:\n got %v\nwant %v",
+					trial, v, xe.Inbox(v), legacyOrdered.Inbox(v))
+			}
+		}
+	}
+}
+
+// TestExchangePlanMatchesRoundParallel migrates the canonical protocol
+// shape — Parallel planning per node — and checks full equivalence.
+func TestExchangePlanMatchesRoundParallel(t *testing.T) {
+	tr, err := topology.TwoTier([]int{3, 3, 3}, []float64{4, 2, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+	plan := func(v topology.NodeID, out *Outbox) {
+		i := int(v)
+		out.Send(vs[(i+1)%len(vs)], TagData, []uint64{uint64(i), uint64(i * i)})
+		out.Multicast([]topology.NodeID{vs[0], vs[len(vs)-1], vs[0]}, TagR, []uint64{uint64(i)})
+		out.Send(v, TagS, []uint64{7}) // self-send
+	}
+
+	legacy := NewEngine(tr)
+	rd := legacy.BeginRound()
+	rd.Parallel(plan)
+	want := rd.Finish()
+
+	ex := NewEngine(tr)
+	x := ex.Exchange()
+	x.Plan(plan)
+	got := x.Execute()
+
+	statsEqual(t, got, want)
+	for _, v := range vs {
+		if !reflect.DeepEqual(ex.Inbox(v), legacy.Inbox(v)) {
+			t.Fatalf("inbox of %d differs", v)
+		}
+	}
+}
+
+// TestExchangeWorkerCounts runs the same plan under different worker
+// budgets; sharded accounting must not change any statistic.
+func TestExchangeWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := randomOpTree(t, rng, 33)
+	ops := randomOps(rng, tr, 300)
+	run := func(workers int) RoundStats {
+		e := NewEngine(tr, WithWorkers(workers))
+		x := e.Exchange()
+		for _, v := range tr.ComputeNodes() {
+			for _, o := range ops {
+				if o.from != v {
+					continue
+				}
+				if o.dsts == nil {
+					x.Out(o.from).Send(o.to, o.tag, o.keys)
+				} else {
+					x.Out(o.from).Multicast(o.dsts, o.tag, o.keys)
+				}
+			}
+		}
+		return x.Execute()
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, 64} {
+		statsEqual(t, run(w), want)
+	}
+}
+
+// TestExchangeSelfSend: self-sends are cost-free but still delivered.
+func TestExchangeSelfSend(t *testing.T) {
+	tr, err := topology.Star([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+	e := NewEngine(tr)
+	x := e.Exchange()
+	x.Out(vs[0]).Send(vs[0], TagData, []uint64{1, 2, 3})
+	stats := x.Execute()
+	if stats.Cost != 0 {
+		t.Fatalf("self-send cost = %v, want 0", stats.Cost)
+	}
+	if stats.NodeSent[vs[0]] != 0 || stats.NodeReceived[vs[0]] != 0 {
+		t.Fatalf("self-send touched sent/received: %v %v", stats.NodeSent, stats.NodeReceived)
+	}
+	in := e.Inbox(vs[0])
+	if len(in) != 1 || len(in[0].Keys) != 3 {
+		t.Fatalf("self-send not delivered: %v", in)
+	}
+}
+
+// TestExchangeMulticastDuplicates: duplicate destinations are delivered
+// once and charged once.
+func TestExchangeMulticastDuplicates(t *testing.T) {
+	tr, err := topology.Star([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+	e := NewEngine(tr)
+	x := e.Exchange()
+	x.Out(vs[0]).Multicast([]topology.NodeID{vs[1], vs[1], vs[1], vs[2]}, TagData, []uint64{9, 9})
+	stats := x.Execute()
+	if got := len(e.Inbox(vs[1])); got != 1 {
+		t.Fatalf("duplicate destination delivered %d times, want 1", got)
+	}
+	if stats.Messages != 2 {
+		t.Fatalf("messages = %d, want 2", stats.Messages)
+	}
+	// Steiner accounting: each of the three star links carries the payload
+	// once (sender uplink, two receiver downlinks).
+	for ed, n := range stats.EdgeElems {
+		if n != 2 {
+			t.Fatalf("edge %d carries %d, want 2", ed, n)
+		}
+	}
+}
+
+// TestExchangeInboxRecycling: inboxes swap across rounds and are not
+// retained.
+func TestExchangeInboxRecycling(t *testing.T) {
+	tr, err := topology.Star([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+	e := NewEngine(tr)
+
+	x := e.Exchange()
+	x.Out(vs[0]).Send(vs[1], TagData, []uint64{1})
+	x.Execute()
+	if len(e.Inbox(vs[1])) != 1 {
+		t.Fatalf("round 1 delivery missing")
+	}
+
+	x = e.Exchange()
+	x.Out(vs[1]).Send(vs[0], TagData, []uint64{2})
+	x.Execute()
+	if len(e.Inbox(vs[1])) != 0 {
+		t.Fatalf("round 1 inbox leaked into round 2: %v", e.Inbox(vs[1]))
+	}
+	if len(e.Inbox(vs[0])) != 1 || e.Inbox(vs[0])[0].Keys[0] != 2 {
+		t.Fatalf("round 2 delivery wrong: %v", e.Inbox(vs[0]))
+	}
+	if e.NumRounds() != 2 {
+		t.Fatalf("NumRounds = %d, want 2", e.NumRounds())
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestExchangeMisusePanics: the exchange lifecycle is enforced like the
+// Round lifecycle.
+func TestExchangeMisusePanics(t *testing.T) {
+	tr, err := topology.Star([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+
+	mustPanic(t, "Exchange while round open", func() {
+		e := NewEngine(tr)
+		e.BeginRound()
+		e.Exchange()
+	})
+	mustPanic(t, "BeginRound while exchange open", func() {
+		e := NewEngine(tr)
+		e.Exchange()
+		e.BeginRound()
+	})
+	mustPanic(t, "Execute twice", func() {
+		x := NewEngine(tr).Exchange()
+		x.Execute()
+		x.Execute()
+	})
+	mustPanic(t, "Plan after Execute", func() {
+		x := NewEngine(tr).Exchange()
+		x.Execute()
+		x.Plan(func(topology.NodeID, *Outbox) {})
+	})
+	mustPanic(t, "Out after Execute", func() {
+		x := NewEngine(tr).Exchange()
+		x.Execute()
+		x.Out(vs[0])
+	})
+	mustPanic(t, "router sender", func() {
+		x := NewEngine(tr).Exchange()
+		x.Out(tr.Root())
+	})
+	mustPanic(t, "router receiver", func() {
+		x := NewEngine(tr).Exchange()
+		x.Out(vs[0]).Send(tr.Root(), TagData, nil)
+		x.Execute()
+	})
+	mustPanic(t, "router multicast receiver", func() {
+		x := NewEngine(tr).Exchange()
+		x.Out(vs[0]).Multicast([]topology.NodeID{tr.Root()}, TagData, nil)
+		x.Execute()
+	})
+}
+
+// TestRoundMisusePanics covers the legacy lifecycle panics alongside the
+// exchange ones.
+func TestRoundMisusePanics(t *testing.T) {
+	tr, err := topology.Star([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.ComputeNodes()
+
+	mustPanic(t, "BeginRound twice", func() {
+		e := NewEngine(tr)
+		e.BeginRound()
+		e.BeginRound()
+	})
+	mustPanic(t, "Finish twice", func() {
+		e := NewEngine(tr)
+		rd := e.BeginRound()
+		rd.Finish()
+		rd.Finish()
+	})
+	mustPanic(t, "Send on finished round", func() {
+		e := NewEngine(tr)
+		rd := e.BeginRound()
+		rd.Finish()
+		rd.Send(vs[0], vs[1], TagData, nil)
+	})
+}

@@ -16,13 +16,21 @@
 //
 // Unlike a pure cost calculator, the engine actually delivers every
 // message, so protocol outputs are real and can be verified against
-// reference implementations. Per-node computation can run concurrently via
-// Round.Parallel; determinism is preserved by merging per-node outboxes in
-// compute-node order.
+// reference implementations. Per-node computation can run concurrently;
+// determinism is preserved by merging per-node outboxes in compute-node
+// order.
+//
+// Two execution surfaces are provided. The per-message Round API
+// (BeginRound / Send / Multicast / Finish) walks the tree path of every
+// transfer and is kept as the reference implementation. The planned
+// Exchange API (Engine.Exchange / Plan / Execute) accounts a whole round
+// of declared transfers in O(V + M) via LCA tree-difference counting and
+// is what the protocol packages run on.
 package netsim
 
 import (
 	"fmt"
+	"runtime"
 
 	"topompc/internal/topology"
 )
@@ -60,16 +68,72 @@ type Engine struct {
 
 	pathBuf []topology.EdgeID
 	inRound bool
+
+	workers int     // 0 = GOMAXPROCS
+	cindex  []int32 // NodeID -> compute index, -1 for routers
+
+	dupStamp []int32 // multicast destination dedup (stamp set)
+	dupCur   int32
+
+	tallyCache []*shardTally // per-worker exchange accounting scratch
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the number of goroutines used by parallel planning and
+// sharded exchange accounting. n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
 }
 
 // NewEngine returns an engine for the given tree with empty inboxes.
-func NewEngine(t *topology.Tree) *Engine {
-	return &Engine{
+func NewEngine(t *topology.Tree, opts ...Option) *Engine {
+	e := &Engine{
 		t:         t,
 		sc:        topology.NewSteinerScratch(t),
 		inboxCur:  make([][]Message, t.NumNodes()),
 		inboxNext: make([][]Message, t.NumNodes()),
+		cindex:    make([]int32, t.NumNodes()),
+		dupStamp:  make([]int32, t.NumNodes()),
 	}
+	for v := range e.cindex {
+		e.cindex[v] = -1
+	}
+	for i, v := range t.ComputeNodes() {
+		e.cindex[v] = int32(i)
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// workerCount resolves the goroutine budget for n independent work items.
+func (e *Engine) workerCount(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// nextStamp advances the destination-dedup stamp, resetting on wraparound.
+func (e *Engine) nextStamp() int32 {
+	e.dupCur++
+	if e.dupCur == 0 {
+		for i := range e.dupStamp {
+			e.dupStamp[i] = -1
+		}
+		e.dupCur = 1
+	}
+	return e.dupCur
 }
 
 // Tree reports the engine's tree.
@@ -154,17 +218,15 @@ func (r *Round) Multicast(from topology.NodeID, dsts []topology.NodeID, tag Tag,
 	for _, edge := range r.e.pathBuf {
 		r.traffic[edge] += int64(len(keys))
 	}
-	for i, d := range dsts {
-		dup := false
-		for _, prev := range dsts[:i] {
-			if prev == d {
-				dup = true
-				break
-			}
+	// Duplicate destinations receive one delivery; dedup with a stamp set so
+	// wide multicasts stay O(len(dsts)) instead of O(len(dsts)²).
+	stamp := r.e.nextStamp()
+	for _, d := range dsts {
+		if r.e.dupStamp[d] == stamp {
+			continue
 		}
-		if !dup {
-			r.deliver(Message{From: from, To: d, Tag: tag, Keys: keys})
-		}
+		r.e.dupStamp[d] = stamp
+		r.deliver(Message{From: from, To: d, Tag: tag, Keys: keys})
 	}
 }
 
@@ -184,12 +246,17 @@ func (r *Round) Finish() RoundStats {
 		panic("netsim: Finish called twice")
 	}
 	r.done = true
-	e := r.e
+	return r.e.commitRound(r.traffic, r.sent, r.received, r.messages, r.elements)
+}
+
+// commitRound computes the round cost from the accounted traffic, records
+// the statistics, and makes all deliveries visible in the inboxes.
+func (e *Engine) commitRound(traffic, sent, received []int64, messages int, elements int64) RoundStats {
 	e.inRound = false
 
 	cost := 0.0
 	var maxEdge topology.EdgeID = topology.NoEdge
-	for edge, n := range r.traffic {
+	for edge, n := range traffic {
 		if n == 0 {
 			continue
 		}
@@ -201,13 +268,13 @@ func (r *Round) Finish() RoundStats {
 	}
 	stats := RoundStats{
 		Index:          len(e.rounds),
-		EdgeElems:      r.traffic,
-		NodeSent:       r.sent,
-		NodeReceived:   r.received,
+		EdgeElems:      traffic,
+		NodeSent:       sent,
+		NodeReceived:   received,
 		Cost:           cost,
 		BottleneckEdge: maxEdge,
-		Messages:       r.messages,
-		Elements:       r.elements,
+		Messages:       messages,
+		Elements:       elements,
 	}
 	e.rounds = append(e.rounds, stats)
 

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"runtime"
 	"sync"
 
 	"topompc/internal/topology"
@@ -37,14 +36,16 @@ func (o *Outbox) Multicast(dsts []topology.NodeID, tag Tag, keys []uint64) {
 // traffic accounting and inbox ordering fully deterministic. fn typically
 // reads Engine.Inbox(v) (safe: inboxes are read-only during a round) plus
 // protocol-local state for v, performs local computation, and queues sends.
+//
+// The merge routes each queued op individually (O(depth) per unicast);
+// protocols should prefer Exchange.Plan, which accounts the whole batch in
+// O(V + M). Parallel remains as the per-message reference implementation
+// the exchange runtime is verified against.
 func (r *Round) Parallel(fn func(v topology.NodeID, out *Outbox)) {
 	nodes := r.e.t.ComputeNodes()
 	outs := make([]Outbox, len(nodes))
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(nodes) {
-		workers = len(nodes)
-	}
+	workers := r.e.workerCount(len(nodes))
 	if workers <= 1 {
 		for i, v := range nodes {
 			fn(v, &outs[i])

@@ -26,19 +26,11 @@ func (t *Tree) Path(dst []EdgeID, u, v NodeID) []EdgeID {
 	return dst
 }
 
-// PathLen reports the number of edges on the unique path from u to v
-// without allocating.
+// PathLen reports the number of edges on the unique path from u to v in
+// O(1), using the Euler-tour LCA index.
 func (t *Tree) PathLen(u, v NodeID) int {
-	n := 0
-	for u != v {
-		if t.depth[u] >= t.depth[v] {
-			u = t.parent[u]
-		} else {
-			v = t.parent[v]
-		}
-		n++
-	}
-	return n
+	l := t.LCA(u, v)
+	return int(t.depth[u] + t.depth[v] - 2*t.depth[l])
 }
 
 // SteinerScratch is reusable state for Steiner computations, avoiding

@@ -73,6 +73,7 @@ type Tree struct {
 	childEnd   []NodeID // per edge: the endpoint farther from the root
 	preorder   []NodeID // DFS preorder following adjacency order
 	tin, tout  []int32  // Euler intervals for subtree tests
+	lca        *lcaIndex
 
 	computeList []NodeID
 }
@@ -225,4 +226,6 @@ func (t *Tree) finalize() {
 			t.computeList = append(t.computeList, NodeID(v))
 		}
 	}
+
+	t.buildLCA()
 }

@@ -1,0 +1,365 @@
+package topompc
+
+import (
+	"fmt"
+	"sort"
+
+	"topompc/internal/core/cartesian"
+	"topompc/internal/core/intersect"
+	"topompc/internal/core/join"
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+)
+
+// TaskInput is the generic input to a registered task. Pair tasks
+// (intersect, cartesian, join) consume R and S; single-relation tasks
+// (sort, aggregate) consume Data. All fragments are indexed in compute-node
+// order, like the typed Cluster methods.
+//
+// Tasks over typed records derive them from the keys deterministically:
+// join treats each key as a (Key, Payload=Key) row, aggregate treats each
+// key as a (Group=Key, Value=1) record, so aggregate totals are group
+// multiplicities.
+type TaskInput struct {
+	R, S [][]uint64
+	Data [][]uint64
+	Seed uint64
+}
+
+// TaskKind says which TaskInput fields a task consumes.
+type TaskKind int
+
+const (
+	// TaskPair tasks consume TaskInput.R and TaskInput.S.
+	TaskPair TaskKind = iota
+	// TaskSingle tasks consume TaskInput.Data.
+	TaskSingle
+)
+
+// TaskResult is the uniform outcome of a registry task: a one-line summary
+// of the verified output plus the cost accounting.
+type TaskResult struct {
+	Summary string
+	Cost    Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
+}
+
+// Task is a runnable protocol registered by name. Every Run executes the
+// protocol on the cluster's exchange-plan runtime, verifies the output
+// against a reference computation, and reports the cost next to the task's
+// instance lower bound (0 when none is known).
+type Task struct {
+	Name        string
+	Description string
+	Kind        TaskKind
+	// WantsEqualPair marks pair tasks whose default protocol requires
+	// |R| = |S| on general trees (cartesian); drivers use it to size
+	// generated inputs.
+	WantsEqualPair bool
+	// WantsDuplicates marks tasks whose instances are only interesting
+	// when keys repeat (aggregate: every group distinct means a zero lower
+	// bound); drivers should generate low-cardinality data.
+	WantsDuplicates bool
+	Run             func(c *Cluster, in TaskInput) (*TaskResult, error)
+}
+
+var taskRegistry = map[string]Task{}
+
+// RegisterTask adds a task to the registry; it panics on a duplicate name.
+// The built-in tasks are registered at init time; callers may add their
+// own.
+func RegisterTask(t Task) {
+	if _, dup := taskRegistry[t.Name]; dup {
+		panic(fmt.Sprintf("topompc: task %q registered twice", t.Name))
+	}
+	taskRegistry[t.Name] = t
+}
+
+// Tasks lists the registered tasks sorted by name.
+func Tasks() []Task {
+	out := make([]Task, 0, len(taskRegistry))
+	for _, t := range taskRegistry {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupTask finds a task by name.
+func LookupTask(name string) (Task, bool) {
+	t, ok := taskRegistry[name]
+	return t, ok
+}
+
+// RunTask executes the named task on the cluster.
+func (c *Cluster) RunTask(name string, in TaskInput) (*TaskResult, error) {
+	t, ok := LookupTask(name)
+	if !ok {
+		return nil, fmt.Errorf("topompc: unknown task %q (have %v)", name, taskNames())
+	}
+	return t.Run(c, in)
+}
+
+func taskNames() []string {
+	names := make([]string, 0, len(taskRegistry))
+	for _, t := range Tasks() {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+func init() {
+	RegisterTask(Task{
+		Name:        "intersect",
+		Description: "set intersection R ∩ S with TreeIntersect (Algorithm 2)",
+		Kind:        TaskPair,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.Intersect(in.R, in.S, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return intersectResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "intersect-baseline",
+		Description: "set intersection with the topology-oblivious uniform hash join",
+		Kind:        TaskPair,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.IntersectBaseline(in.R, in.S, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return intersectResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:           "cartesian",
+		Description:    "cartesian product R × S (§4 protocols, chosen by topology and sizes)",
+		Kind:           TaskPair,
+		WantsEqualPair: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.CartesianProduct(in.R, in.S)
+			if err != nil {
+				return nil, err
+			}
+			// Full geometric verification: the rectangles cover the grid and
+			// every node received exactly the rows/columns its rectangle
+			// spans.
+			err = cartesian.Verify(c.t, dataset.Placement(in.R), dataset.Placement(in.S),
+				&cartesian.Result{Rects: res.Rects, RKeys: res.RPerNode, SKeys: res.SPerNode})
+			if err != nil {
+				return nil, err
+			}
+			var pairs int64
+			for _, p := range res.PairsPerNode {
+				pairs += p
+			}
+			return &TaskResult{
+				Summary: fmt.Sprintf("|R|=%d |S|=%d pairs=%d strategy=%s", sizes(in.R), sizes(in.S), pairs, res.Strategy),
+				Cost:    res.Cost,
+				Report:  res.Report,
+			}, nil
+		},
+	})
+	RegisterTask(Task{
+		Name:        "sort",
+		Description: "distributed sort with weighted TeraSort (§5.2)",
+		Kind:        TaskSingle,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.Sort(in.Data, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sortResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "sort-baseline",
+		Description: "distributed sort with classic topology-oblivious TeraSort",
+		Kind:        TaskSingle,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.SortBaseline(in.Data, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sortResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "join",
+		Description: "binary equi-join R ⋈ S with balanced-partition routing",
+		Kind:        TaskPair,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.Join(keysToRows(in.R), keysToRows(in.S), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return joinResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "join-baseline",
+		Description: "binary equi-join with the topology-oblivious uniform hash join",
+		Kind:        TaskPair,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.JoinBaseline(keysToRows(in.R), keysToRows(in.S), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return joinResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:            "aggregate",
+		Description:     "group-by count with two-level (rack-combining) aggregation",
+		Kind:            TaskSingle,
+		WantsDuplicates: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.Aggregate(keysToGroups(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return aggregateResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:            "aggregate-baseline",
+		Description:     "group-by count with single-round uniform hashing",
+		Kind:            TaskSingle,
+		WantsDuplicates: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.AggregateBaseline(keysToGroups(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return aggregateResult(in, res)
+		},
+	})
+}
+
+func intersectResult(in TaskInput, res *IntersectResult) (*TaskResult, error) {
+	want := intersect.Reference(dataset.Placement(in.R), dataset.Placement(in.S))
+	if len(want) != len(res.Keys) {
+		return nil, fmt.Errorf("intersect: output has %d keys, want %d", len(res.Keys), len(want))
+	}
+	for i := range want {
+		if want[i] != res.Keys[i] {
+			return nil, fmt.Errorf("intersect: output mismatch at %d", i)
+		}
+	}
+	return &TaskResult{
+		Summary: fmt.Sprintf("|R|=%d |S|=%d |R∩S|=%d", sizes(in.R), sizes(in.S), len(res.Keys)),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+func sortResult(in TaskInput, res *SortResult) (*TaskResult, error) {
+	var n int64
+	var all, out []uint64
+	for _, f := range in.Data {
+		n += int64(len(f))
+		all = append(all, f...)
+	}
+	last := uint64(0)
+	started := false
+	for _, i := range res.NodeOrder {
+		frag := res.PerNode[i]
+		out = append(out, frag...)
+		for j, k := range frag {
+			if j > 0 && frag[j-1] > k {
+				return nil, fmt.Errorf("sort: node %d fragment not sorted", i)
+			}
+			if started && k < last {
+				return nil, fmt.Errorf("sort: global order violated at node %d", i)
+			}
+			last = k
+			started = true
+		}
+	}
+	// Multiset equality: the output is a permutation of the input.
+	if len(out) != len(all) {
+		return nil, fmt.Errorf("sort: output has %d elements, want %d", len(out), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i := range all {
+		if all[i] != out[i] {
+			return nil, fmt.Errorf("sort: output is not a permutation of the input (mismatch at %d)", i)
+		}
+	}
+	return &TaskResult{
+		Summary: fmt.Sprintf("N=%d nodes=%d", n, len(res.PerNode)),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+func joinResult(in TaskInput, res *JoinResult) (*TaskResult, error) {
+	want := join.ReferenceSize(keyPlacement(in.R), keyPlacement(in.S))
+	if res.Pairs != want {
+		return nil, fmt.Errorf("join: %d pairs emitted, want %d", res.Pairs, want)
+	}
+	return &TaskResult{
+		Summary: fmt.Sprintf("|R|=%d |S|=%d pairs=%d", sizes(in.R), sizes(in.S), res.Pairs),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+func aggregateResult(in TaskInput, res *AggregateResult) (*TaskResult, error) {
+	want := make(map[uint64]int64)
+	for _, frag := range in.Data {
+		for _, k := range frag {
+			want[k]++
+		}
+	}
+	if len(res.Totals) != len(want) {
+		return nil, fmt.Errorf("aggregate: %d groups, want %d", len(res.Totals), len(want))
+	}
+	for g, v := range want {
+		if res.Totals[g] != v {
+			return nil, fmt.Errorf("aggregate: group %d total %d, want %d", g, res.Totals[g], v)
+		}
+	}
+	return &TaskResult{
+		Summary: fmt.Sprintf("records=%d groups=%d", sizes(in.Data), len(want)),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+func keysToRows(frags [][]uint64) [][]Row {
+	out := make([][]Row, len(frags))
+	for i, f := range frags {
+		out[i] = make([]Row, len(f))
+		for j, k := range f {
+			out[i][j] = Row{Key: k, Payload: k}
+		}
+	}
+	return out
+}
+
+func keysToGroups(frags [][]uint64) [][]GroupValue {
+	out := make([][]GroupValue, len(frags))
+	for i, f := range frags {
+		out[i] = make([]GroupValue, len(f))
+		for j, k := range f {
+			out[i][j] = GroupValue{Group: k, Value: 1}
+		}
+	}
+	return out
+}
+
+func keyPlacement(frags [][]uint64) join.Placement {
+	out := make(join.Placement, len(frags))
+	for i, f := range frags {
+		out[i] = make([]join.Tuple, len(f))
+		for j, k := range f {
+			out[i][j] = join.Tuple{Key: k, Payload: k}
+		}
+	}
+	return out
+}

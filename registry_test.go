@@ -1,0 +1,139 @@
+package topompc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"topompc/internal/dataset"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	c, err := TwoTierCluster([]int{3, 3}, []float64{4, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testInput(t *testing.T, c *Cluster, spec Task, n int) TaskInput {
+	rng := rand.New(rand.NewSource(5))
+	p := c.NumNodes()
+	in := TaskInput{Seed: 42}
+	var err error
+	switch spec.Kind {
+	case TaskPair:
+		r, s := n/4, n/2
+		if spec.WantsEqualPair {
+			r, s = n/4, n/4
+		}
+		var rk, sk []uint64
+		rk, sk, err = dataset.SetPair(rng, r, s, r/8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.R, err = dataset.SplitUniform(rk, p); err != nil {
+			t.Fatal(err)
+		}
+		if in.S, err = dataset.SplitUniform(sk, p); err != nil {
+			t.Fatal(err)
+		}
+	case TaskSingle:
+		keys := dataset.Distinct(rng, n)
+		if spec.WantsDuplicates {
+			pool := dataset.Distinct(rng, n/8)
+			for i := range keys {
+				keys[i] = pool[rng.Intn(len(pool))]
+			}
+		}
+		if in.Data, err = dataset.SplitUniform(keys, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+// TestRegistryRunsEveryTask executes each registered task end to end; the
+// tasks verify their own outputs against reference computations.
+func TestRegistryRunsEveryTask(t *testing.T) {
+	c := testCluster(t)
+	tasks := Tasks()
+	if len(tasks) < 9 {
+		t.Fatalf("registry has %d tasks, want at least 9", len(tasks))
+	}
+	for _, spec := range tasks {
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := c.RunTask(spec.Name, testInput(t, c, spec, 2000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Summary == "" {
+				t.Fatal("empty summary")
+			}
+			if res.Report == nil {
+				t.Fatal("missing report")
+			}
+			if res.Cost.Cost < 0 {
+				t.Fatalf("negative cost %v", res.Cost.Cost)
+			}
+		})
+	}
+}
+
+// TestRegistryUnknownTask reports the available names.
+func TestRegistryUnknownTask(t *testing.T) {
+	c := testCluster(t)
+	_, err := c.RunTask("no-such-task", TaskInput{})
+	if err == nil || !strings.Contains(err.Error(), "intersect") {
+		t.Fatalf("want error listing tasks, got %v", err)
+	}
+}
+
+// TestExecOptionsDeterminism: the worker budget must not change any
+// result or cost.
+func TestExecOptionsDeterminism(t *testing.T) {
+	for _, spec := range Tasks() {
+		base := testCluster(t)
+		in := testInput(t, base, spec, 3000)
+		ref, err := base.RunTask(spec.Name, in)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			c := testCluster(t)
+			c.SetExecOptions(ExecOptions{Workers: workers})
+			res, err := c.RunTask(spec.Name, in)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", spec.Name, workers, err)
+			}
+			if res.Cost.Cost != ref.Cost.Cost || res.Cost.Elements != ref.Cost.Elements ||
+				res.Cost.Rounds != ref.Cost.Rounds || res.Summary != ref.Summary {
+				t.Fatalf("%s workers=%d: result diverged: %+v vs %+v",
+					spec.Name, workers, res, ref)
+			}
+		}
+	}
+}
+
+// TestExecOptionsBits: bit-width accounting multiplies the element cost.
+func TestExecOptionsBits(t *testing.T) {
+	c := testCluster(t)
+	c.SetExecOptions(ExecOptions{BitsPerElement: 64})
+	spec, _ := LookupTask("intersect")
+	res, err := c.RunTask("intersect", testInput(t, c, spec, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Cost.Cost * 64; res.Cost.Bits != want {
+		t.Fatalf("Bits = %v, want %v", res.Cost.Bits, want)
+	}
+
+	plain := testCluster(t)
+	pres, err := plain.RunTask("intersect", testInput(t, plain, spec, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Cost.Bits != 0 {
+		t.Fatalf("Bits = %v without BitsPerElement, want 0", pres.Cost.Bits)
+	}
+}

@@ -35,7 +35,32 @@ import (
 
 // Cluster is a symmetric tree network of compute nodes and routers.
 type Cluster struct {
-	t *topology.Tree
+	t    *topology.Tree
+	exec ExecOptions
+}
+
+// ExecOptions tunes how protocols execute on the cluster's exchange-plan
+// runtime. The zero value is the default configuration.
+type ExecOptions struct {
+	// Workers bounds the goroutines used for per-node planning and sharded
+	// round accounting; 0 means one per available CPU.
+	Workers int
+	// BitsPerElement, when positive, additionally reports round costs in
+	// bits (Cost.Bits = Cost.Cost × BitsPerElement) — the paper's log N
+	// wire-width factor.
+	BitsPerElement int
+}
+
+// SetExecOptions configures protocol execution for all subsequent task
+// calls on this cluster.
+func (c *Cluster) SetExecOptions(o ExecOptions) { c.exec = o }
+
+// netsimOpts lowers the options onto the engine.
+func (o ExecOptions) netsimOpts() []netsim.Option {
+	if o.Workers == 0 {
+		return nil
+	}
+	return []netsim.Option{netsim.WithWorkers(o.Workers)}
 }
 
 // StarCluster builds a star: one central router and len(bandwidths)
@@ -79,6 +104,11 @@ func CaterpillarCluster(spine []float64, leg float64) (*Cluster, error) {
 	return &Cluster{t: t}, nil
 }
 
+// NewCluster wraps an already-built topology tree. It exists for the
+// in-module command-line tools; external callers use the named
+// constructors or ParseCluster.
+func NewCluster(t *topology.Tree) *Cluster { return &Cluster{t: t} }
+
 // ParseCluster decodes a cluster from its JSON spec (see topology.Spec for
 // the format: {"nodes": [{"name", "compute"}], "edges": [{"a","b","bw"}]},
 // with bw = -1 denoting an infinite-bandwidth link).
@@ -119,6 +149,9 @@ type Cost struct {
 	LowerBound float64
 	// Elements is the total number of elements transmitted.
 	Elements int64
+	// Bits is the cost in bits (Cost × ExecOptions.BitsPerElement); zero
+	// unless bit-width accounting was enabled.
+	Bits float64
 }
 
 // Ratio reports Cost / LowerBound (1 when both are zero).
@@ -150,13 +183,17 @@ func sizes(frags [][]uint64) int64 {
 	return n
 }
 
-func costOf(rep *netsim.Report, lb float64) Cost {
-	return Cost{
+func (c *Cluster) costOf(rep *netsim.Report, lb float64) Cost {
+	cost := Cost{
 		Rounds:     rep.NumRounds(),
 		Cost:       rep.TotalCost(),
 		LowerBound: lb,
 		Elements:   rep.TotalElements(),
 	}
+	if c.exec.BitsPerElement > 0 {
+		cost.Bits = rep.BitCost(c.exec.BitsPerElement)
+	}
+	return cost
 }
 
 // IntersectResult is the outcome of a distributed set intersection.
@@ -167,6 +204,8 @@ type IntersectResult struct {
 	PerNode [][]uint64
 	// Cost is the execution cost against the Theorem 1 lower bound.
 	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
 }
 
 // Intersect computes R ∩ S with the topology- and distribution-aware
@@ -180,7 +219,7 @@ func (c *Cluster) Intersect(r, s [][]uint64, seed uint64) (*IntersectResult, err
 	if err := c.checkFragments("s", s); err != nil {
 		return nil, err
 	}
-	res, err := intersect.Tree(c.t, dataset.Placement(r), dataset.Placement(s), seed)
+	res, err := intersect.Tree(c.t, dataset.Placement(r), dataset.Placement(s), seed, c.exec.netsimOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +227,8 @@ func (c *Cluster) Intersect(r, s [][]uint64, seed uint64) (*IntersectResult, err
 	return &IntersectResult{
 		Keys:    res.Output,
 		PerNode: res.PerNode,
-		Cost:    costOf(res.Report, lb.Value),
+		Cost:    c.costOf(res.Report, lb.Value),
+		Report:  res.Report,
 	}, nil
 }
 
@@ -201,7 +241,7 @@ func (c *Cluster) IntersectBaseline(r, s [][]uint64, seed uint64) (*IntersectRes
 	if err := c.checkFragments("s", s); err != nil {
 		return nil, err
 	}
-	res, err := intersect.UniformHash(c.t, dataset.Placement(r), dataset.Placement(s), seed)
+	res, err := intersect.UniformHash(c.t, dataset.Placement(r), dataset.Placement(s), seed, c.exec.netsimOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +249,8 @@ func (c *Cluster) IntersectBaseline(r, s [][]uint64, seed uint64) (*IntersectRes
 	return &IntersectResult{
 		Keys:    res.Output,
 		PerNode: res.PerNode,
-		Cost:    costOf(res.Report, lb.Value),
+		Cost:    c.costOf(res.Report, lb.Value),
+		Report:  res.Report,
 	}, nil
 }
 
@@ -225,8 +266,13 @@ type CartesianResult struct {
 	// RPerNode and SPerNode are the tuples available at each node for
 	// enumeration.
 	RPerNode, SPerNode [][]uint64
+	// Rects is each node's assigned rectangle [X0,X1)×[Y0,Y1) of the
+	// output grid, in fragment-index order.
+	Rects []cartesian.Rect
 	// Cost is the execution cost against max(Theorem 3, Theorem 4).
 	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
 }
 
 // CartesianProduct computes R × S. Equal-size inputs run the general
@@ -244,9 +290,9 @@ func (c *Cluster) CartesianProduct(r, s [][]uint64) (*CartesianResult, error) {
 	var res *cartesian.Result
 	var err error
 	if sizes(r) == sizes(s) {
-		res, err = cartesian.Tree(c.t, dataset.Placement(r), dataset.Placement(s))
+		res, err = cartesian.Tree(c.t, dataset.Placement(r), dataset.Placement(s), c.exec.netsimOpts()...)
 	} else {
-		res, err = cartesian.Unequal(c.t, dataset.Placement(r), dataset.Placement(s))
+		res, err = cartesian.Unequal(c.t, dataset.Placement(r), dataset.Placement(s), c.exec.netsimOpts()...)
 	}
 	if err != nil {
 		return nil, err
@@ -270,7 +316,9 @@ func (c *Cluster) CartesianProduct(r, s [][]uint64) (*CartesianResult, error) {
 		PairsPerNode: pairs,
 		RPerNode:     res.RKeys,
 		SPerNode:     res.SKeys,
-		Cost:         costOf(res.Report, lb),
+		Rects:        res.Rects,
+		Cost:         c.costOf(res.Report, lb),
+		Report:       res.Report,
 	}, nil
 }
 
@@ -283,6 +331,8 @@ type SortResult struct {
 	NodeOrder []int
 	// Cost is the execution cost against the Theorem 6 lower bound.
 	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
 }
 
 // Sort redistributes the data so that node fragments are globally ordered
@@ -291,7 +341,7 @@ type SortResult struct {
 // high probability in the regime N ≥ 4|VC|²ln(|VC|·N).
 func (c *Cluster) Sort(data [][]uint64, seed uint64) (*SortResult, error) {
 	return c.sortWith(data, func(p dataset.Placement) (*sorting.Result, error) {
-		return sorting.WTS(c.t, p, seed)
+		return sorting.WTS(c.t, p, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -299,7 +349,7 @@ func (c *Cluster) Sort(data [][]uint64, seed uint64) (*SortResult, error) {
 // comparison.
 func (c *Cluster) SortBaseline(data [][]uint64, seed uint64) (*SortResult, error) {
 	return c.sortWith(data, func(p dataset.Placement) (*sorting.Result, error) {
-		return sorting.TeraSort(c.t, p, seed)
+		return sorting.TeraSort(c.t, p, seed, c.exec.netsimOpts()...)
 	})
 }
 
@@ -323,7 +373,8 @@ func (c *Cluster) sortWith(data [][]uint64, run func(dataset.Placement) (*sortin
 	return &SortResult{
 		PerNode:   res.PerNode,
 		NodeOrder: order,
-		Cost:      costOf(res.Report, lb.Value),
+		Cost:      c.costOf(res.Report, lb.Value),
+		Report:    res.Report,
 	}, nil
 }
 
