@@ -1,7 +1,9 @@
 // Command topobench regenerates the paper's tables and figures as markdown
 // or aligned-text tables (the per-experiment index lives in DESIGN.md; the
 // recorded results live in EXPERIMENTS.md). It can also time any task from
-// the protocol registry on a chosen topology (-task).
+// the protocol registry on a chosen topology (-task); with -json the
+// timing results are additionally written to BENCH_<task>.json for
+// machine consumption (CI uploads these as artifacts).
 //
 // Usage:
 //
@@ -9,9 +11,11 @@
 //	topobench -run all -seed 42 -format md
 //	topobench -run E1,E8 -quick
 //	topobench -task sort -topo twotier -n 100000 -reps 5 -workers 4
+//	topobench -task triangle -topo caterpillar -n 20000 -reps 3 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -38,11 +42,12 @@ func main() {
 		reps    = flag.Int("reps", 3, "timed repetitions for -task")
 		workers = flag.Int("workers", 0, "goroutine budget for -task (0 = all CPUs)")
 		bits    = flag.Int("bits", 0, "bit-width accounting for -task (0 = elements only)")
+		jsonOut = flag.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
 	)
 	flag.Parse()
 
 	if *task != "" {
-		if err := timeTask(*task, *topo, *place, *n, *reps, *workers, *bits, *seed); err != nil {
+		if err := timeTask(*task, *topo, *place, *n, *reps, *workers, *bits, *seed, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "topobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -93,9 +98,31 @@ func main() {
 	}
 }
 
+// benchRecord is the machine-readable result of one -task timing run,
+// serialized to BENCH_<task>.json when -json is set.
+type benchRecord struct {
+	Task       string  `json:"task"`
+	Topo       string  `json:"topo"`
+	Place      string  `json:"place"`
+	N          int     `json:"n"`
+	Nodes      int     `json:"nodes"`
+	Workers    int     `json:"workers"`
+	Seed       uint64  `json:"seed"`
+	Reps       int     `json:"reps"`
+	RepNs      []int64 `json:"rep_ns"`
+	BestNs     int64   `json:"best_ns"`
+	MelemPerS  float64 `json:"melem_per_s"`
+	Rounds     int     `json:"rounds"`
+	Cost       float64 `json:"cost"`
+	LowerBound float64 `json:"lower_bound"`
+	Ratio      float64 `json:"ratio"`
+	Elements   int64   `json:"elements"`
+	Summary    string  `json:"summary"`
+}
+
 // timeTask runs one registry task repeatedly and reports model cost next
 // to wall-clock time, exercising the exchange-plan runtime end to end.
-func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64) error {
+func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64, jsonOut bool) error {
 	spec, ok := topompc.LookupTask(name)
 	if !ok {
 		return fmt.Errorf("unknown task %q (see toposim -list-tasks)", name)
@@ -103,6 +130,9 @@ func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64)
 	tree, err := cliutil.ParseTopo(topo)
 	if err != nil {
 		return err
+	}
+	if reps < 1 {
+		reps = 1
 	}
 	cluster := topompc.NewCluster(tree)
 	cluster.SetExecOptions(topompc.ExecOptions{Workers: workers, BitsPerElement: bits})
@@ -115,6 +145,10 @@ func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64)
 
 	fmt.Printf("%s on %s: n=%d nodes=%d workers=%d reps=%d\n",
 		name, topo, n, cluster.NumNodes(), workers, reps)
+	rec := benchRecord{
+		Task: name, Topo: topo, Place: place, N: n,
+		Nodes: cluster.NumNodes(), Workers: workers, Seed: seed, Reps: reps,
+	}
 	var best time.Duration
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
@@ -126,10 +160,30 @@ func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64)
 		if best == 0 || elapsed < best {
 			best = elapsed
 		}
+		rec.RepNs = append(rec.RepNs, elapsed.Nanoseconds())
+		rec.Rounds = res.Cost.Rounds
+		rec.Cost = res.Cost.Cost
+		rec.LowerBound = res.Cost.LowerBound
+		rec.Ratio = res.Cost.Ratio()
+		rec.Elements = res.Cost.Elements
+		rec.Summary = res.Summary
 		fmt.Printf("  rep %d: %v  cost=%.3f  ratio=%.3f  [%s]\n",
 			rep+1, elapsed.Round(time.Microsecond), res.Cost.Cost, res.Cost.Ratio(), res.Summary)
 	}
 	fmt.Printf("best: %v (%.1f Melem/s)\n", best.Round(time.Microsecond),
 		float64(n)/best.Seconds()/1e6)
+	if jsonOut {
+		rec.BestNs = best.Nanoseconds()
+		rec.MelemPerS = float64(n) / best.Seconds() / 1e6
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("BENCH_%s.json", name)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 	return nil
 }

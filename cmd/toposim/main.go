@@ -8,6 +8,8 @@
 //	toposim -topo star:4x1 -task intersect -sizeR 1000 -sizeS 4000
 //	toposim -topo twotier -task sort -n 50000 -place zipf
 //	toposim -topo twotier -task aggregate -n 20000 -workers 4 -bits 64
+//	toposim -topo twotier -task triangle -n 30000 -edges
+//	toposim -topo caterpillar -task starjoin -n 30000 -place zipf
 //	toposim -topo @cluster.json -task cartesian -n 4096
 package main
 

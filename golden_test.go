@@ -1,0 +1,170 @@
+package topompc_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"topompc"
+)
+
+// Golden cost-regression harness: every registry task runs on the fixed
+// fixture set (fixtureTopos × fixturePlacements) and its Report-level cost
+// accounting is compared against checked-in golden JSON. Any change to
+// protocol routing, exchange accounting, or lower bounds shows up as a
+// diff here before it can silently regress.
+//
+// Regenerate after an intentional change with
+//
+//	go test -run TestGoldenCosts -update
+var update = flag.Bool("update", false, "rewrite testdata/golden_costs.json with current results")
+
+const goldenN = 2400
+
+// goldenEntry is the recorded outcome of one (task, topo, placement)
+// combination.
+type goldenEntry struct {
+	Rounds     int     `json:"rounds"`
+	Cost       float64 `json:"cost"`
+	LowerBound float64 `json:"lower_bound"`
+	Elements   int64   `json:"elements"`
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_costs.json") }
+
+func runGoldenGrid(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	got := make(map[string]goldenEntry)
+	for _, topo := range fixtureTopos {
+		for _, place := range fixturePlacements {
+			c, err := topo.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range topompc.Tasks() {
+				key := fmt.Sprintf("%s/%s/%s", spec.Name, topo.Name, place)
+				in := fixtureInput(t, spec, c, topo.Name, place, goldenN)
+				res, err := c.RunTask(spec.Name, in)
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				got[key] = goldenEntry{
+					Rounds:     res.Cost.Rounds,
+					Cost:       res.Cost.Cost,
+					LowerBound: res.Cost.LowerBound,
+					Elements:   res.Cost.Elements,
+				}
+			}
+		}
+	}
+	return got
+}
+
+func TestGoldenCosts(t *testing.T) {
+	got := runGoldenGrid(t)
+
+	if *update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]goldenEntry, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run TestGoldenCosts -update` to create it): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden file but not produced (stale entry? rerun -update)", key)
+			continue
+		}
+		if g.Rounds != w.Rounds || g.Elements != w.Elements ||
+			!floatsClose(g.Cost, w.Cost) || !floatsClose(g.LowerBound, w.LowerBound) {
+			t.Errorf("%s: got %+v, want %+v", key, g, w)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: produced but missing from golden file (new task/fixture? rerun -update)", key)
+		}
+	}
+}
+
+// floatsClose tolerates only float-formatting noise; the executions
+// themselves are deterministic.
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// TestGoldenAwareBeatsFlat pins the headline result on the golden
+// fixtures: the topology-aware multiway joins must strictly beat their
+// flat-HyperCube baselines on the skewed two-tier and caterpillar
+// topologies. The star shape on the two-tier tree additionally needs
+// data concentrated on the fast rack (the oneheavy placement), since with
+// perfectly uniform data the weak-uplink traffic of a unicast hash
+// partition is invariant to the target weights.
+func TestGoldenAwareBeatsFlat(t *testing.T) {
+	cases := []struct {
+		aware, flat, topo, place string
+	}{
+		{"triangle", "triangle-flat", "twotier-skew", "uniform"},
+		{"triangle", "triangle-flat", "twotier-skew", "zipf"},
+		{"triangle", "triangle-flat", "caterpillar", "uniform"},
+		{"triangle", "triangle-flat", "caterpillar", "zipf"},
+		{"starjoin", "starjoin-flat", "twotier-skew", "oneheavy"},
+		{"starjoin", "starjoin-flat", "caterpillar", "uniform"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/%s/%s", tc.aware, tc.topo, tc.place), func(t *testing.T) {
+			c := fixtureCluster(t, tc.topo)
+			spec, ok := topompc.LookupTask(tc.aware)
+			if !ok {
+				t.Fatalf("unknown task %s", tc.aware)
+			}
+			in := fixtureInput(t, spec, c, tc.topo, tc.place, goldenN)
+			aware, err := c.RunTask(tc.aware, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := c.RunTask(tc.flat, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aware.Cost.Cost >= flat.Cost.Cost {
+				t.Errorf("aware cost %.1f not below flat %.1f", aware.Cost.Cost, flat.Cost.Cost)
+			}
+		})
+	}
+}

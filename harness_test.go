@@ -1,0 +1,78 @@
+// Shared fixtures for the cost-regression, property, and determinism test
+// harnesses. These live in the external test package so they can reuse the
+// cliutil task-input generator (which imports topompc).
+package topompc_test
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"topompc"
+	"topompc/internal/cliutil"
+)
+
+// fixtureTopos is the fixed topology zoo of the golden harness: a uniform
+// star, a two-tier tree with 16:1 skewed uplinks, a symmetric fat-tree,
+// and a caterpillar with weak spine ends.
+var fixtureTopos = []struct {
+	Name  string
+	Build func() (*topompc.Cluster, error)
+}{
+	{"star-uniform", func() (*topompc.Cluster, error) {
+		return topompc.StarCluster([]float64{2, 2, 2, 2, 2, 2, 2, 2})
+	}},
+	{"twotier-skew", func() (*topompc.Cluster, error) {
+		return topompc.TwoTierCluster([]int{4, 4}, []float64{16, 1}, 16)
+	}},
+	{"fattree", func() (*topompc.Cluster, error) {
+		return topompc.FatTreeCluster(2, 3, 2, 3)
+	}},
+	{"caterpillar", func() (*topompc.Cluster, error) {
+		return topompc.CaterpillarCluster([]float64{1, 2, 4, 2, 1}, 4)
+	}},
+}
+
+// fixturePlacements names the initial data distributions of the harness.
+var fixturePlacements = []string{"uniform", "zipf"}
+
+// fixtureSeed derives a stable per-combination seed so adding or removing
+// combinations never shifts another combination's input data.
+func fixtureSeed(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// fixtureCluster builds the named fixture topology.
+func fixtureCluster(t *testing.T, name string) *topompc.Cluster {
+	t.Helper()
+	for _, f := range fixtureTopos {
+		if f.Name == name {
+			c, err := f.Build()
+			if err != nil {
+				t.Fatalf("building %s: %v", name, err)
+			}
+			return c
+		}
+	}
+	t.Fatalf("unknown fixture topology %q", name)
+	return nil
+}
+
+// fixtureInput generates the deterministic input for one (task, topo,
+// placement) combination.
+func fixtureInput(t *testing.T, spec topompc.Task, c *topompc.Cluster, topo, place string, n int) topompc.TaskInput {
+	t.Helper()
+	seed := fixtureSeed(spec.Name, topo, place)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	placer := cliutil.Placer(place, int64(seed))
+	in, err := cliutil.TaskData(spec, rng, placer, c.NumNodes(), n, 0, 0, seed)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: generating input: %v", spec.Name, topo, place, err)
+	}
+	return in
+}

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"math"
 	"math/rand"
 
 	"topompc"
@@ -10,11 +11,47 @@ import (
 // TaskData generates a TaskInput for a registry task: pair tasks get an
 // (R, S) set pair sized by sizeR/sizeS (0 means the task-appropriate split
 // of n), single-relation tasks get n keys, low-cardinality when the task
-// asks for duplicates. Placement is applied per relation over p compute
+// asks for duplicates, and multi-relation tasks get NumRelations relations
+// of n/k encoded Tuple2s whose attribute domains are sized so the join
+// output is non-trivial. Placement is applied per relation over p compute
 // nodes.
 func TaskData(spec topompc.Task, rng *rand.Rand, placer PlaceFunc, p, n, sizeR, sizeS int, seed uint64) (topompc.TaskInput, error) {
 	in := topompc.TaskInput{Seed: seed}
 	switch spec.Kind {
+	case topompc.TaskMulti:
+		k := spec.NumRelations
+		if k == 0 {
+			k = 3
+		}
+		m := max(1, n/k)
+		var dom int
+		if spec.Cyclic {
+			// Random pairs over a d×d domain: a d ≈ m^(2/3) keeps the
+			// expected triangle count near m.
+			dom = max(2, int(math.Round(math.Pow(float64(m), 2.0/3.0))))
+		} else {
+			// Star join: each value appears ~4 times per relation.
+			dom = max(2, m/4)
+		}
+		in.Rels = make([][][]uint64, k)
+		for j := range in.Rels {
+			keys := make([]uint64, m)
+			for i := range keys {
+				a := uint64(rng.Intn(dom))
+				var b uint64
+				if spec.Cyclic {
+					b = uint64(rng.Intn(dom))
+				} else {
+					b = uint64(rng.Uint32())
+				}
+				keys[i] = topompc.EncodeTuple2(topompc.Tuple2{A: a, B: b})
+			}
+			rel, err := placer(rng, keys, p)
+			if err != nil {
+				return in, err
+			}
+			in.Rels[j] = rel
+		}
 	case topompc.TaskPair:
 		r, s := sizeR, sizeS
 		if r == 0 {

@@ -1,0 +1,285 @@
+package multijoin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topompc/internal/lowerbound"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+func randTriangleInput(t *testing.T, rng *rand.Rand, p, m, dom int) (r, s, tt Placement) {
+	t.Helper()
+	gen := func() Placement {
+		pl := make(Placement, p)
+		for i := 0; i < m; i++ {
+			n := rng.Intn(p)
+			pl[n] = append(pl[n], Tuple{A: uint64(rng.Intn(dom)), B: uint64(rng.Intn(dom))})
+		}
+		return pl
+	}
+	return gen(), gen(), gen()
+}
+
+func randStarInput(t *testing.T, rng *rand.Rand, k, p, m, dom int) []Placement {
+	t.Helper()
+	rels := make([]Placement, k)
+	for j := range rels {
+		rels[j] = make(Placement, p)
+		for i := 0; i < m; i++ {
+			n := rng.Intn(p)
+			rels[j][n] = append(rels[j][n], Tuple{A: uint64(rng.Intn(dom)), B: rng.Uint64()})
+		}
+	}
+	return rels
+}
+
+func testTrees(t *testing.T) map[string]*topology.Tree {
+	t.Helper()
+	star, err := topology.UniformStar(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twotier, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cater, err := topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Tree{"star": star, "twotier": twotier, "caterpillar": cater}
+}
+
+// TestTriangleMatchesReference: both variants produce the exact reference
+// count and checksum, and the sampled triples are real joins of the input.
+func TestTriangleMatchesReference(t *testing.T) {
+	for name, tree := range testTrees(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			r, s, tt := randTriangleInput(t, rng, tree.NumCompute(), 400, 24)
+			want := TriangleReference(r, s, tt)
+			if want.Count == 0 {
+				t.Fatal("degenerate instance: no triangles")
+			}
+			for variant, run := range map[string]func(*topology.Tree, Placement, Placement, Placement, uint64, ...netsim.Option) (*Result, error){
+				"aware": Triangle, "flat": TriangleFlat,
+			} {
+				res, err := run(tree, r, s, tt, 42)
+				if err != nil {
+					t.Fatalf("%s: %v", variant, err)
+				}
+				if got := res.TotalOutputs(); got != want.Count {
+					t.Fatalf("%s: %d triangles, want %d", variant, got, want.Count)
+				}
+				if res.Checksum != want.Checksum {
+					t.Fatalf("%s: checksum mismatch", variant)
+				}
+				verifySamples(t, r, s, tt, res)
+				cells := 0
+				for _, c := range res.CellsPerNode {
+					cells += c
+				}
+				if wantCells := res.Shares[0] * res.Shares[1] * res.Shares[2]; cells != wantCells {
+					t.Fatalf("%s: %d cells assigned, want %d", variant, cells, wantCells)
+				}
+			}
+		})
+	}
+}
+
+func verifySamples(t *testing.T, r, s, tt Placement, res *Result) {
+	t.Helper()
+	has := func(p Placement, tp Tuple) bool {
+		for _, frag := range p {
+			for _, x := range frag {
+				if x == tp {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i, sample := range res.Sample {
+		for _, tr := range sample {
+			if !has(r, Tuple{A: tr.A, B: tr.B}) || !has(s, Tuple{A: tr.B, B: tr.C}) || !has(tt, Tuple{A: tr.C, B: tr.A}) {
+				t.Fatalf("node %d emitted triangle %+v not in the input", i, tr)
+			}
+		}
+	}
+}
+
+// TestStarMatchesReference: both variants produce the exact reference
+// count and per-value checksum.
+func TestStarMatchesReference(t *testing.T) {
+	for name, tree := range testTrees(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			rels := randStarInput(t, rng, 4, tree.NumCompute(), 300, 60)
+			want := StarReference(rels)
+			if want.Count == 0 {
+				t.Fatal("degenerate instance: empty star join")
+			}
+			for variant, run := range map[string]func(*topology.Tree, []Placement, uint64, ...netsim.Option) (*Result, error){
+				"aware": Star, "flat": StarFlat,
+			} {
+				res, err := run(tree, rels, 42)
+				if err != nil {
+					t.Fatalf("%s: %v", variant, err)
+				}
+				if got := res.TotalOutputs(); got != want.Count {
+					t.Fatalf("%s: %d rows, want %d", variant, got, want.Count)
+				}
+				if res.Checksum != want.Checksum {
+					t.Fatalf("%s: checksum mismatch", variant)
+				}
+			}
+		})
+	}
+}
+
+// TestAwareBeatsFlatOnSkewedTopologies: the capacity-apportioned cell
+// assignment must strictly beat flat HyperCube where the topology is
+// skewed. The star shape additionally needs skewed data placement on the
+// two-tier tree — with perfectly uniform data the weak-uplink traffic of a
+// unicast hash partition is constant in the target weights, so no
+// assignment can win there.
+func TestAwareBeatsFlatOnSkewedTopologies(t *testing.T) {
+	trees := testTrees(t)
+	for _, name := range []string{"twotier", "caterpillar"} {
+		tree := trees[name]
+		rng := rand.New(rand.NewSource(3))
+		r, s, tt := randTriangleInput(t, rng, tree.NumCompute(), 600, 30)
+		aware, err := Triangle(tree, r, s, tt, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := TriangleFlat(tree, r, s, tt, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aware.Report.TotalCost() >= flat.Report.TotalCost() {
+			t.Errorf("%s triangle: aware cost %.1f not below flat %.1f", name,
+				aware.Report.TotalCost(), flat.Report.TotalCost())
+		}
+		rels := randStarInput(t, rng, 3, tree.NumCompute(), 600, 80)
+		if name == "twotier" {
+			// Skew: concentrate ~90% of every relation on the fast rack
+			// (nodes 0-3), the scenario where weighted hashing pays off.
+			for _, rel := range rels {
+				for i := 4; i < len(rel); i++ {
+					keep := rel[i][:0]
+					for j, tp := range rel[i] {
+						if j%10 == 0 {
+							keep = append(keep, tp)
+						} else {
+							rel[i%4] = append(rel[i%4], tp)
+						}
+					}
+					rel[i] = keep
+				}
+			}
+		}
+		sAware, err := Star(tree, rels, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sFlat, err := StarFlat(tree, rels, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sAware.Report.TotalCost() >= sFlat.Report.TotalCost() {
+			t.Errorf("%s star: aware cost %.1f not below flat %.1f", name,
+				sAware.Report.TotalCost(), sFlat.Report.TotalCost())
+		}
+	}
+}
+
+// TestCostAboveMultijoinBound: simulated cost dominates the
+// tuple-transfer cut bound on random instances.
+func TestCostAboveMultijoinBound(t *testing.T) {
+	for name, tree := range testTrees(t) {
+		rng := rand.New(rand.NewSource(13))
+		r, s, tt := randTriangleInput(t, rng, tree.NumCompute(), 300, 20)
+		ref := TriangleReference(r, s, tt)
+		lb := lowerbound.Multijoin(tree, ref.Count, ref.MaxDeg, TriangleCutCounts(tree, r, s, tt))
+		for variant, run := range map[string]func(*topology.Tree, Placement, Placement, Placement, uint64, ...netsim.Option) (*Result, error){
+			"aware": Triangle, "flat": TriangleFlat,
+		} {
+			res, err := run(tree, r, s, tt, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost := res.Report.TotalCost(); cost < lb.Value {
+				t.Errorf("%s/%s: cost %.3f below bound %.3f", name, variant, cost, lb.Value)
+			}
+		}
+	}
+}
+
+// TestCapacities: capacity weights reflect uplink bottlenecks and stay
+// uniform on symmetric topologies.
+func TestCapacities(t *testing.T) {
+	trees := testTrees(t)
+	w := Capacities(trees["star"])
+	for i := 1; i < len(w); i++ {
+		if w[i] != w[0] {
+			t.Fatalf("uniform star has non-uniform capacities %v", w)
+		}
+	}
+	w = Capacities(trees["twotier"])
+	// Rack 1 (nodes 0-3) sits behind a 16× uplink; rack 2 behind 1.
+	if w[0] <= w[4] {
+		t.Fatalf("fast-rack node weight %v not above slow-rack %v (all: %v)", w[0], w[4], w)
+	}
+	// Infinite links must not produce NaN/zero weights.
+	b := topology.NewBuilder()
+	root := b.Router("w")
+	v1 := b.Compute("v1")
+	v2 := b.Compute("v2")
+	b.Link(v1, root, 1)
+	b.Link(v2, root, math.Inf(1))
+	inf := b.MustBuild()
+	w = Capacities(inf)
+	for i, x := range w {
+		if !(x > 0) {
+			t.Fatalf("weight %d = %v on tree with infinite link", i, x)
+		}
+	}
+}
+
+// TestBalancedShares: product within p, balanced, deterministic.
+func TestBalancedShares(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		6:  {2, 1, 3}, // any permutation with product 6 is fine; pin the actual result
+		8:  {2, 2, 2},
+		12: {3, 2, 2},
+		27: {3, 3, 3},
+	}
+	for p := range cases {
+		g := BalancedShares(p, 3)
+		prod := g[0] * g[1] * g[2]
+		if prod > p || prod < 1 {
+			t.Fatalf("p=%d: shares %v product %d out of range", p, g, prod)
+		}
+	}
+	// Degenerate dims.
+	if g := BalancedShares(0, 3); g[0]*g[1]*g[2] != 1 {
+		t.Fatalf("p=0 shares %v", g)
+	}
+}
+
+// TestStarErrors: arity validation.
+func TestStarErrors(t *testing.T) {
+	tree := testTrees(t)["star"]
+	if _, err := Star(tree, []Placement{make(Placement, tree.NumCompute())}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Star(tree, []Placement{{}, {}}, 1); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}

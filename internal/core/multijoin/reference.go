@@ -1,0 +1,150 @@
+package multijoin
+
+import (
+	"topompc/internal/hashing"
+	"topompc/internal/topology"
+)
+
+// RefStats summarizes a reference (centralized) evaluation of a multiway
+// join: the exact output count, the matching checksum, and the maximum
+// participation degree — the largest number of output rows any single
+// input tuple occurs in, the denominator of the lowerbound.Multijoin
+// covering argument.
+type RefStats struct {
+	Count    int64
+	Checksum uint64
+	MaxDeg   int64
+}
+
+// TriangleReference evaluates R(a,b) ⋈ S(b,c) ⋈ T(c,a) centrally via hash
+// joins over distinct-tuple multiplicities.
+func TriangleReference(r, s, t Placement) RefStats {
+	rByB := make(map[uint64][]tcnt) // b -> distinct (a,b) with count
+	{
+		dist := make(map[Tuple]int64)
+		for _, frag := range r {
+			for _, tp := range frag {
+				dist[tp]++
+			}
+		}
+		for tp, n := range dist {
+			rByB[tp.B] = append(rByB[tp.B], tcnt{t: tp, n: n})
+		}
+	}
+	sDist := make(map[Tuple]int64) // (b, c)
+	for _, frag := range s {
+		for _, tp := range frag {
+			sDist[tp]++
+		}
+	}
+	tDist := make(map[Tuple]int64) // (c, a)
+	for _, frag := range t {
+		for _, tp := range frag {
+			tDist[tp]++
+		}
+	}
+
+	var st RefStats
+	degR := make(map[Tuple]int64)
+	degS := make(map[Tuple]int64)
+	degT := make(map[Tuple]int64)
+	for sp, ns := range sDist { // sp = (b, c)
+		for _, rc := range rByB[sp.A] { // rc.t = (a, b)
+			tp := Tuple{A: sp.B, B: rc.t.A} // (c, a)
+			nt := tDist[tp]
+			if nt == 0 {
+				continue
+			}
+			st.Count += rc.n * ns * nt
+			st.Checksum += tripleSig(rc.t.A, sp.A, sp.B) * uint64(rc.n*ns*nt)
+			// Per-copy participation degrees.
+			degR[rc.t] += ns * nt
+			degS[sp] += rc.n * nt
+			degT[tp] += rc.n * ns
+		}
+	}
+	for _, m := range []map[Tuple]int64{degR, degS, degT} {
+		for _, d := range m {
+			if d > st.MaxDeg {
+				st.MaxDeg = d
+			}
+		}
+	}
+	return st
+}
+
+// StarReference evaluates the k-way star join centrally. Its checksum
+// fingerprints the per-value output counts (Σ_a Mix64(a)·rows(a)), the
+// same quantity the Star protocol computes.
+func StarReference(rels []Placement) RefStats {
+	k := len(rels)
+	cnt := make(map[uint64][]int64)
+	for j, rel := range rels {
+		for _, frag := range rel {
+			for _, tp := range frag {
+				c := cnt[tp.A]
+				if c == nil {
+					c = make([]int64, k)
+					cnt[tp.A] = c
+				}
+				c[j]++
+			}
+		}
+	}
+	var st RefStats
+	for a, c := range cnt {
+		rows := int64(1)
+		for _, n := range c {
+			rows *= n
+		}
+		if rows == 0 {
+			continue
+		}
+		st.Count += rows
+		st.Checksum += hashing.Mix64(a) * uint64(rows)
+		// Degree of one tuple of relation j with value a: Π_{l≠j} cnt_l.
+		for _, n := range c {
+			if d := rows / n; d > st.MaxDeg {
+				st.MaxDeg = d
+			}
+		}
+	}
+	return st
+}
+
+// sideBag collects the tuples of a placement residing on one side of an
+// edge's cut into a single-fragment placement.
+func sideBag(tr *topology.Tree, p Placement, e topology.EdgeID, below bool) Placement {
+	var bag []Tuple
+	for i, v := range tr.ComputeNodes() {
+		if tr.OnChildSide(e, v) == below {
+			bag = append(bag, p[i]...)
+		}
+	}
+	return Placement{bag}
+}
+
+// TriangleCutCounts reports, per edge, how many output triangles are
+// derivable entirely from the inputs on each side of the edge's cut — the
+// "within" terms of lowerbound.Multijoin.
+func TriangleCutCounts(tr *topology.Tree, r, s, t Placement) func(e topology.EdgeID) (below, above int64) {
+	return func(e topology.EdgeID) (int64, int64) {
+		b := TriangleReference(sideBag(tr, r, e, true), sideBag(tr, s, e, true), sideBag(tr, t, e, true))
+		a := TriangleReference(sideBag(tr, r, e, false), sideBag(tr, s, e, false), sideBag(tr, t, e, false))
+		return b.Count, a.Count
+	}
+}
+
+// StarCutCounts is TriangleCutCounts for the star shape.
+func StarCutCounts(tr *topology.Tree, rels []Placement) func(e topology.EdgeID) (below, above int64) {
+	return func(e topology.EdgeID) (int64, int64) {
+		side := func(below bool) int64 {
+			filtered := make([]Placement, len(rels))
+			for j, rel := range rels {
+				filtered[j] = sideBag(tr, rel, e, below)
+			}
+			return StarReference(filtered).Count
+		}
+		return side(true), side(false)
+	}
+}

@@ -1,0 +1,120 @@
+package multijoin
+
+import (
+	"fmt"
+
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// MaxStarRelations bounds k for the star shape (relation index rides in
+// the message tag).
+const MaxStarRelations = 200
+
+// Star computes the k-way star join R_1(a,b_1) ⋈ … ⋈ R_k(a,b_k) on the
+// shared attribute a. The HyperCube share vector for a star query
+// degenerates to (p, 1, …, 1) — a hash partition of a — so the
+// topology-aware variant is weighted hashing: join values are assigned to
+// compute nodes with probability proportional to their bandwidth
+// Capacities, keeping shuffle volume over each link proportional to its
+// bandwidth. One communication round.
+func Star(t *topology.Tree, rels []Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return star(t, rels, seed, true, opts)
+}
+
+// StarFlat is the topology-oblivious baseline: uniform hashing of the join
+// attribute over all compute nodes, as in the plain MPC model.
+func StarFlat(t *topology.Tree, rels []Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return star(t, rels, seed, false, opts)
+}
+
+func star(tr *topology.Tree, rels []Placement, seed uint64, aware bool, opts []netsim.Option) (*Result, error) {
+	k := len(rels)
+	if k < 2 {
+		return nil, fmt.Errorf("multijoin: star join needs at least 2 relations, got %d", k)
+	}
+	if k > MaxStarRelations {
+		return nil, fmt.Errorf("multijoin: star join supports at most %d relations, got %d", MaxStarRelations, k)
+	}
+	for j, rel := range rels {
+		if err := checkPlacement(tr, fmt.Sprintf("R%d", j+1), rel); err != nil {
+			return nil, err
+		}
+	}
+	p := tr.NumCompute()
+	nodes := tr.ComputeNodes()
+
+	var weights []float64
+	if aware {
+		weights = Capacities(tr)
+	} else {
+		weights = uniformWeights(p)
+	}
+	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0x57A2), weights)
+	if err != nil {
+		return nil, err
+	}
+
+	e := netsim.NewEngine(tr, opts...)
+	x := e.Exchange()
+	idx := make(map[topology.NodeID]int, p)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		for j, rel := range rels {
+			// Group by target in first-seen order (deterministic for a
+			// fixed fragment order).
+			groups := make(map[int][]Tuple)
+			var targets []int
+			for _, tp := range rel[i] {
+				d := chooser.Choose(tp.A)
+				if _, ok := groups[d]; !ok {
+					targets = append(targets, d)
+				}
+				groups[d] = append(groups[d], tp)
+			}
+			for _, d := range targets {
+				out.Send(nodes[d], netsim.Tag(j), encode(groups[d]))
+			}
+		}
+	})
+	x.Execute()
+
+	res := &Result{
+		PerNode: make([]int64, p),
+		Sample:  make([][]Triple, p),
+		Shares:  []int{p},
+	}
+	for i, v := range nodes {
+		// All tuples of a join value land on one node, so local per-value
+		// counts are the global ones.
+		cnt := make(map[uint64][]int64)
+		for _, m := range e.Inbox(v) {
+			j := int(m.Tag)
+			for _, tp := range decode(m.Keys) {
+				c := cnt[tp.A]
+				if c == nil {
+					c = make([]int64, k)
+					cnt[tp.A] = c
+				}
+				c[j]++
+			}
+		}
+		for a, c := range cnt {
+			rows := int64(1)
+			for _, n := range c {
+				rows *= n
+			}
+			if rows == 0 {
+				continue
+			}
+			res.PerNode[i] += rows
+			res.Checksum += hashing.Mix64(a) * uint64(rows)
+		}
+	}
+	res.Report = e.Report()
+	return res, nil
+}

@@ -1,0 +1,247 @@
+package multijoin
+
+import (
+	"sort"
+
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// Triangle computes R(a,b) ⋈ S(b,c) ⋈ T(c,a) with the topology-aware
+// HyperCube shuffle: shares g_a × g_b × g_c (product ≤ p), grid cells
+// apportioned over the compute nodes proportionally to their bandwidth
+// Capacities and laid out contiguously along the tree preorder. Every
+// R-tuple is multicast to the owners of its (h_a(a), h_b(b), *) slab, and
+// symmetrically for S and T; each output triangle is produced at exactly
+// one cell, so no deduplication round is needed. One communication round.
+func Triangle(t *topology.Tree, r, s, tt Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return triangle(t, r, s, tt, seed, true, opts)
+}
+
+// TriangleFlat is the topology-oblivious baseline: the identical HyperCube
+// protocol with uniformly weighted cells assigned in compute-node order,
+// as on a flat network.
+func TriangleFlat(t *topology.Tree, r, s, tt Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return triangle(t, r, s, tt, seed, false, opts)
+}
+
+// tcnt is a distinct tuple with its multiplicity.
+type tcnt struct {
+	t Tuple
+	n int64
+}
+
+// flattenSorted converts a distinct-count map into a slice ordered by
+// (A, B), the deterministic enumeration order of the join loops.
+func flattenSorted(m map[Tuple]int64) []tcnt {
+	flat := make([]tcnt, 0, len(m))
+	for tp, n := range m {
+		flat = append(flat, tcnt{t: tp, n: n})
+	}
+	sort.Slice(flat, func(x, y int) bool {
+		if flat[x].t.A != flat[y].t.A {
+			return flat[x].t.A < flat[y].t.A
+		}
+		return flat[x].t.B < flat[y].t.B
+	})
+	return flat
+}
+
+func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, opts []netsim.Option) (*Result, error) {
+	if err := checkPlacement(tr, "R", r); err != nil {
+		return nil, err
+	}
+	if err := checkPlacement(tr, "S", s); err != nil {
+		return nil, err
+	}
+	if err := checkPlacement(tr, "T", tt); err != nil {
+		return nil, err
+	}
+	p := tr.NumCompute()
+	nodes := tr.ComputeNodes()
+	shares := BalancedShares(p, 3)
+	ga, gb, gc := shares[0], shares[1], shares[2]
+	numCells := ga * gb * gc
+
+	var weights []float64
+	var order []int
+	if aware {
+		weights = Capacities(tr)
+		order = preorderComputeIndices(tr)
+	} else {
+		weights = uniformWeights(p)
+		order = identityOrder(p)
+	}
+	layout, err := assignCells(numCells, weights, order)
+	if err != nil {
+		return nil, err
+	}
+	cid := func(ia, ib, ic int) int { return (ia*gb+ib)*gc + ic }
+
+	// Destination lists per slab: R-tuples with coords (ia, ib) go to the
+	// owners of cells (ia, ib, *); S to (*, ib, ic); T to (ia, *, ic).
+	// Owner lists are deduplicated once and shared read-only by all
+	// planning goroutines.
+	slabOwners := func(cells func(k int) int, free int) []topology.NodeID {
+		var dsts []topology.NodeID
+		seen := make(map[int32]bool, free)
+		for k := 0; k < free; k++ {
+			o := layout.owner[cells(k)]
+			if !seen[o] {
+				seen[o] = true
+				dsts = append(dsts, nodes[o])
+			}
+		}
+		return dsts
+	}
+	rDst := make([][]topology.NodeID, ga*gb)
+	for ia := 0; ia < ga; ia++ {
+		for ib := 0; ib < gb; ib++ {
+			ia, ib := ia, ib
+			rDst[ia*gb+ib] = slabOwners(func(k int) int { return cid(ia, ib, k) }, gc)
+		}
+	}
+	sDst := make([][]topology.NodeID, gb*gc)
+	for ib := 0; ib < gb; ib++ {
+		for ic := 0; ic < gc; ic++ {
+			ib, ic := ib, ic
+			sDst[ib*gc+ic] = slabOwners(func(k int) int { return cid(k, ib, ic) }, ga)
+		}
+	}
+	tDst := make([][]topology.NodeID, ga*gc)
+	for ia := 0; ia < ga; ia++ {
+		for ic := 0; ic < gc; ic++ {
+			ia, ic := ia, ic
+			tDst[ia*gc+ic] = slabOwners(func(k int) int { return cid(ia, k, ic) }, gb)
+		}
+	}
+
+	ha := hashing.NewHasher(seed + 0xA11CE)
+	hb := hashing.NewHasher(seed + 0xB0B)
+	hc := hashing.NewHasher(seed + 0xC0C0A)
+	ca := func(x uint64) int { return int(ha.Hash(x) % uint64(ga)) }
+	cb := func(x uint64) int { return int(hb.Hash(x) % uint64(gb)) }
+	cc := func(x uint64) int { return int(hc.Hash(x) % uint64(gc)) }
+
+	e := netsim.NewEngine(tr, opts...)
+	x := e.Exchange()
+	idx := make(map[topology.NodeID]int, p)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+		i := idx[v]
+		// Group tuples by slab in first-seen order (deterministic for a
+		// fixed fragment order) and multicast each group to its slab owners.
+		plan := func(frag []Tuple, key func(t Tuple) int, dst [][]topology.NodeID, tag netsim.Tag) {
+			groups := make(map[int][]Tuple)
+			var keys []int
+			for _, tp := range frag {
+				k := key(tp)
+				if _, ok := groups[k]; !ok {
+					keys = append(keys, k)
+				}
+				groups[k] = append(groups[k], tp)
+			}
+			for _, k := range keys {
+				if dsts := dst[k]; len(dsts) > 0 {
+					out.Multicast(dsts, tag, encode(groups[k]))
+				}
+			}
+		}
+		plan(r[i], func(t Tuple) int { return ca(t.A)*gb + cb(t.B) }, rDst, netsim.TagR)
+		plan(s[i], func(t Tuple) int { return cb(t.A)*gc + cc(t.B) }, sDst, netsim.TagS)
+		plan(tt[i], func(t Tuple) int { return ca(t.B)*gc + cc(t.A) }, tDst, netsim.TagT)
+	})
+	x.Execute()
+
+	// Owned cells per node.
+	owned := make([][]int, p)
+	for cell, o := range layout.owner {
+		owned[o] = append(owned[o], cell)
+	}
+
+	res := &Result{
+		PerNode:      make([]int64, p),
+		Sample:       make([][]Triple, p),
+		Shares:       shares,
+		CellsPerNode: layout.perNode,
+	}
+	for i, v := range nodes {
+		if len(owned[i]) == 0 {
+			continue
+		}
+		// Aggregate received tuples into distinct-with-count slab buckets.
+		collect := func(tag netsim.Tag) map[int]map[Tuple]int64 {
+			var key func(t Tuple) int
+			switch tag {
+			case netsim.TagR:
+				key = func(t Tuple) int { return ca(t.A)*gb + cb(t.B) }
+			case netsim.TagS:
+				key = func(t Tuple) int { return cb(t.A)*gc + cc(t.B) }
+			default:
+				key = func(t Tuple) int { return ca(t.B)*gc + cc(t.A) }
+			}
+			slabs := make(map[int]map[Tuple]int64)
+			for _, m := range e.Inbox(v) {
+				if m.Tag != tag {
+					continue
+				}
+				for _, tp := range decode(m.Keys) {
+					k := key(tp)
+					if slabs[k] == nil {
+						slabs[k] = make(map[Tuple]int64)
+					}
+					slabs[k][tp]++
+				}
+			}
+			return slabs
+		}
+		rSlabs, sSlabs, tSlabs := collect(netsim.TagR), collect(netsim.TagS), collect(netsim.TagT)
+
+		// Per R-slab: distinct tuples grouped by b, a-ascending (sorted
+		// once, shared by every owned cell of the slab).
+		rByB := make(map[int]map[uint64][]tcnt, len(rSlabs))
+		for k, m := range rSlabs {
+			byB := make(map[uint64][]tcnt)
+			for _, tc := range flattenSorted(m) {
+				byB[tc.t.B] = append(byB[tc.t.B], tc)
+			}
+			rByB[k] = byB
+		}
+		// Per S-slab: distinct (b, c) sorted for deterministic enumeration.
+		sSorted := make(map[int][]tcnt, len(sSlabs))
+		for k, m := range sSlabs {
+			sSorted[k] = flattenSorted(m)
+		}
+
+		for _, cell := range owned[i] {
+			ic := cell % gc
+			ib := (cell / gc) % gb
+			ia := cell / (gb * gc)
+			byB := rByB[ia*gb+ib]
+			ss := sSorted[ib*gc+ic]
+			tm := tSlabs[ia*gc+ic]
+			if len(byB) == 0 || len(ss) == 0 || len(tm) == 0 {
+				continue
+			}
+			for _, sc := range ss { // sc.t = (b, c)
+				for _, rc := range byB[sc.t.A] { // rc.t = (a, b)
+					tcn := tm[Tuple{A: sc.t.B, B: rc.t.A}] // (c, a)
+					if tcn == 0 {
+						continue
+					}
+					cnt := rc.n * sc.n * tcn
+					res.PerNode[i] += cnt
+					res.Checksum += tripleSig(rc.t.A, sc.t.A, sc.t.B) * uint64(cnt)
+					if len(res.Sample[i]) < SampleLimit {
+						res.Sample[i] = append(res.Sample[i], Triple{A: rc.t.A, B: sc.t.A, C: sc.t.B})
+					}
+				}
+			}
+		}
+	}
+	res.Report = e.Report()
+	return res, nil
+}

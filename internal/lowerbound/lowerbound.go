@@ -73,10 +73,23 @@ func CartesianCut(t *topology.Tree, loads topology.Loads) Bound {
 	})
 }
 
-// CartesianCover is the Theorem 4 lower bound, maximized over all minimal
-// covers U ≠ {r} of G† via the minimum-Σw² cover:
+// CartesianCover is the Theorem 4 cover lower bound in its instance-valid
+// form. For a minimal cover U ≠ {r} of G† the covered subtrees are
+// disjoint and each touches the rest of the network only through its
+// cover node's outgoing edge, so in time C the subtree under u ∈ U holds
+// at most L_u + C·w_u elements (initial load plus received) and can
+// enumerate at most ((L_u + C·w_u)/2)² output pairs. Covering the
+// |R|·|S| = (N/2)² output grid therefore requires
 //
-//	CLB = N / sqrt(min_U Σ_{u∈U} w_u²)
+//	Σ_{u∈U} (L_u + C·w_u)²  ≥  N²,
+//
+// whose smallest root C is the bound (0 when the initial loads already
+// cover the grid). The cover is the minimum-Σw² one of Algorithm 5 —
+// the maximizer of the paper's load-free form N/sqrt(Σ w_u²), which that
+// form equals when all L_u are 0; keeping the L_u terms is what makes the
+// bound valid for arbitrary initial distributions, where cover subtrees
+// may already hold data. Assumes |R| = |S| = N/2 with loads N_v summing
+// both relations (the §4.4 equal-size setting).
 //
 // ok is false when the G† root is a compute node; in that case Theorem 4
 // does not apply (and the gather-to-root strategy already matches
@@ -87,12 +100,33 @@ func CartesianCover(t *topology.Tree, loads topology.Loads) (clb float64, cover 
 	if !ok {
 		return 0, nil, false
 	}
-	n := loads.Total()
 	if wTilde == 0 || math.IsInf(wTilde, 1) {
 		// All cover edges have infinite bandwidth: the bound degenerates.
 		return 0, cover, true
 	}
-	return float64(n) / wTilde, cover, true
+	n := float64(loads.Total())
+	// Per-node G† subtree load sums in one bottom-up sweep, then the
+	// squared terms of the quadratic C²·Σw² + 2C·ΣLw + ΣL² − N² = 0.
+	subLoad := make([]int64, t.NumNodes())
+	for _, v := range d.PostOrder() {
+		subLoad[v] += loads[v]
+		if p := d.Parent(v); p != topology.NoNode {
+			subLoad[p] += subLoad[v]
+		}
+	}
+	var sumW2, sumLW, sumL2 float64
+	for _, u := range cover {
+		load := float64(subLoad[u])
+		w := d.OutBandwidth(u)
+		sumW2 += w * w
+		sumLW += load * w
+		sumL2 += load * load
+	}
+	if sumL2 >= n*n {
+		return 0, cover, true
+	}
+	clb = (-sumLW + math.Sqrt(sumLW*sumLW+sumW2*(n*n-sumL2))) / sumW2
+	return clb, cover, true
 }
 
 // Cartesian combines Theorems 3 and 4: the larger of the cut bound and —

@@ -76,20 +76,35 @@ func TestCartesianCutByHand(t *testing.T) {
 }
 
 func TestCartesianCoverUniformStar(t *testing.T) {
-	// Uniform star, balanced loads: cover = all leaves, w̃ = sqrt(p)·w,
-	// CLB = N / (w·sqrt(p)).
+	// Uniform star, balanced loads: cover = all leaves, each subtree
+	// already holding L = N/p elements. Σ (L + C·w)² ≥ N² over p leaves
+	// gives L + C·w = N/√p, i.e. CLB = (N/√p − N/p)/w. (The load-free
+	// textbook form N/(w·√p) over-claims whenever cover subtrees start
+	// with data — a verified protocol beats it on skewed random trees.)
 	p, w := 4, 2.0
 	tr, loads := starWithLoads(t, w, 25, 25, 25, 25)
 	clb, cover, ok := CartesianCover(tr, loads)
 	if !ok {
 		t.Fatal("cover bound should apply on a balanced star")
 	}
-	want := 100 / (w * math.Sqrt(float64(p)))
+	n := 100.0
+	want := (n/math.Sqrt(float64(p)) - n/float64(p)) / w
 	if math.Abs(clb-want) > 1e-9 {
 		t.Errorf("cover CLB = %v, want %v", clb, want)
 	}
 	if len(cover) != p {
 		t.Errorf("cover size = %d, want %d (all leaves)", len(cover), p)
+	}
+	// With all data outside the cover subtrees the load-free form is
+	// recovered: one heavy node at the G† root side contributes no L_u.
+	tr2, loads2 := starWithLoads(t, w, 0, 40, 0, 0)
+	clb2, _, ok2 := CartesianCover(tr2, loads2)
+	if ok2 {
+		// G† roots at the heavy compute node, so Theorem 4 is off here —
+		// documented behaviour, nothing to check beyond consistency.
+		if clb2 < 0 {
+			t.Errorf("negative CLB %v", clb2)
+		}
 	}
 }
 

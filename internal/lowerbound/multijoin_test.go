@@ -1,0 +1,59 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+// TestMultijoinBound: the covering bound is max_e ⌈mixed/dmax⌉/w_e with
+// mixed = total − below − above.
+func TestMultijoinBound(t *testing.T) {
+	tree, err := topology.TwoTier([]int{2, 2}, []float64{4, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 outputs; on the rack-2 uplink 40 are derivable below and 10
+	// above, leaving 50 mixed; dmax 5 → ⌈50/5⌉/1 = 10 binds (all other
+	// edges have no mixed outputs).
+	var rack2Uplink topology.EdgeID = topology.NoEdge
+	for e := topology.EdgeID(0); int(e) < tree.NumEdges(); e++ {
+		if tree.Bandwidth(e) == 1 {
+			rack2Uplink = e
+		}
+	}
+	if rack2Uplink == topology.NoEdge {
+		t.Fatal("rack-2 uplink not found")
+	}
+	within := func(e topology.EdgeID) (int64, int64) {
+		if e == rack2Uplink {
+			return 40, 10
+		}
+		return 100, 0
+	}
+	b := Multijoin(tree, 100, 5, within)
+	if b.Value != 10 {
+		t.Fatalf("bound = %v, want 10", b.Value)
+	}
+	if b.Edge != rack2Uplink {
+		t.Fatalf("binding edge = %v, want %v", b.Edge, rack2Uplink)
+	}
+
+	// Degenerate cases yield zero bounds.
+	if b := Multijoin(tree, 0, 5, within); b.Value != 0 {
+		t.Fatalf("zero-output bound = %v", b.Value)
+	}
+	if b := Multijoin(tree, 100, 0, within); b.Value != 0 {
+		t.Fatalf("zero-dmax bound = %v", b.Value)
+	}
+	// Rounding: mixed=3, dmax=2 → ⌈3/2⌉ = 2 elements.
+	b = Multijoin(tree, 3, 2, func(e topology.EdgeID) (int64, int64) {
+		if e == rack2Uplink {
+			return 0, 0
+		}
+		return 3, 0
+	})
+	if b.Value != 2 {
+		t.Fatalf("ceil bound = %v, want 2", b.Value)
+	}
+}

@@ -47,6 +47,7 @@ const (
 	TagS
 	TagSample
 	TagSplitter
+	TagT
 )
 
 // Message is a batch of elements sent from one compute node to another.

@@ -1,0 +1,138 @@
+package topompc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topompc"
+	"topompc/internal/cliutil"
+	"topompc/internal/topology"
+)
+
+// Property harness (tier-1, seeded): on random trees and random
+// placements, every protocol's simulated cost must dominate its instance
+// lower bound, and no topology-aware variant may exceed its
+// topology-oblivious baseline by more than a fixed tolerance factor. The
+// seeds are fixed, so the assertions are deterministic; they exist to
+// catch future routing or accounting changes that break the cost model's
+// invariants on inputs nobody hand-picked.
+
+// awareBaselinePairs maps each aware task to its oblivious baseline.
+var awareBaselinePairs = [][2]string{
+	{"intersect", "intersect-baseline"},
+	{"sort", "sort-baseline"},
+	{"join", "join-baseline"},
+	{"aggregate", "aggregate-baseline"},
+	{"triangle", "triangle-flat"},
+	{"starjoin", "starjoin-flat"},
+}
+
+// awareTolerance bounds how much worse than its baseline an aware variant
+// may ever be on a random instance. Aware protocols optimize for skewed
+// topologies and can lose modestly on benign ones (e.g. two-round
+// aggregation vs one-round hashing); they must never lose big.
+const awareTolerance = 3.0
+
+func randomTrials(t *testing.T) []struct {
+	name    string
+	cluster *topompc.Cluster
+	place   string
+	seed    uint64
+} {
+	t.Helper()
+	places := []string{"uniform", "zipf", "oneheavy"}
+	var trials []struct {
+		name    string
+		cluster *topompc.Cluster
+		place   string
+		seed    uint64
+	}
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(1000 + trial*7)
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(9)  // 2..10 compute nodes
+		r := 1 + rng.Intn(6)  // 1..6 routers
+		minBW := 1 + rng.Float64()*2
+		maxBW := minBW + rng.Float64()*8
+		tree, err := topology.Random(rng, p, r, minBW, maxBW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials = append(trials, struct {
+			name    string
+			cluster *topompc.Cluster
+			place   string
+			seed    uint64
+		}{
+			name:    fmt.Sprintf("tree%02d-p%d-r%d-%s", trial, p, r, places[trial%len(places)]),
+			cluster: topompc.NewCluster(tree),
+			place:   places[trial%len(places)],
+			seed:    uint64(seed),
+		})
+	}
+	return trials
+}
+
+// TestPropertyCostDominatesLowerBound: measured cost ≥ instance lower
+// bound for every task on every random trial.
+func TestPropertyCostDominatesLowerBound(t *testing.T) {
+	for _, trial := range randomTrials(t) {
+		trial := trial
+		t.Run(trial.name, func(t *testing.T) {
+			for _, spec := range topompc.Tasks() {
+				in := propertyInput(t, spec, trial.cluster, trial.place, trial.seed)
+				res, err := trial.cluster.RunTask(spec.Name, in)
+				if err != nil {
+					t.Fatalf("%s: %v", spec.Name, err)
+				}
+				// Tiny slack for float accumulation only; the bounds are in
+				// the same element units as the cost.
+				if res.Cost.Cost < res.Cost.LowerBound*(1-1e-9) {
+					t.Errorf("%s: cost %.6f below lower bound %.6f",
+						spec.Name, res.Cost.Cost, res.Cost.LowerBound)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyAwareWithinToleranceOfBaseline: aware variants never lose
+// to their baselines by more than awareTolerance on any random trial.
+func TestPropertyAwareWithinToleranceOfBaseline(t *testing.T) {
+	for _, trial := range randomTrials(t) {
+		trial := trial
+		t.Run(trial.name, func(t *testing.T) {
+			for _, pair := range awareBaselinePairs {
+				spec, ok := topompc.LookupTask(pair[0])
+				if !ok {
+					t.Fatalf("unknown task %s", pair[0])
+				}
+				in := propertyInput(t, spec, trial.cluster, trial.place, trial.seed)
+				aware, err := trial.cluster.RunTask(pair[0], in)
+				if err != nil {
+					t.Fatalf("%s: %v", pair[0], err)
+				}
+				base, err := trial.cluster.RunTask(pair[1], in)
+				if err != nil {
+					t.Fatalf("%s: %v", pair[1], err)
+				}
+				if aware.Cost.Cost > base.Cost.Cost*awareTolerance {
+					t.Errorf("%s cost %.3f exceeds %.1f× baseline %s (%.3f)",
+						pair[0], aware.Cost.Cost, awareTolerance, pair[1], base.Cost.Cost)
+				}
+			}
+		})
+	}
+}
+
+func propertyInput(t *testing.T, spec topompc.Task, c *topompc.Cluster, place string, seed uint64) topompc.TaskInput {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(fixtureSeed(spec.Name, place, fmt.Sprint(seed)))))
+	placer := cliutil.Placer(place, int64(seed))
+	in, err := cliutil.TaskData(spec, rng, placer, c.NumNodes(), 600, 0, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

@@ -13,16 +13,21 @@ import (
 
 // TaskInput is the generic input to a registered task. Pair tasks
 // (intersect, cartesian, join) consume R and S; single-relation tasks
-// (sort, aggregate) consume Data. All fragments are indexed in compute-node
-// order, like the typed Cluster methods.
+// (sort, aggregate) consume Data; multi-relation tasks (triangle, star
+// join) consume Rels. All fragments are indexed in compute-node order,
+// like the typed Cluster methods.
 //
 // Tasks over typed records derive them from the keys deterministically:
 // join treats each key as a (Key, Payload=Key) row, aggregate treats each
-// key as a (Group=Key, Value=1) record, so aggregate totals are group
-// multiplicities.
+// key as a (Group=Key, Value=1) record (so aggregate totals are group
+// multiplicities), and the multiway joins unpack each key into a Tuple2 as
+// (A, B) = (key>>32, key&0xffffffff).
 type TaskInput struct {
 	R, S [][]uint64
 	Data [][]uint64
+	// Rels holds the relations of a multi-relation task: Rels[j][i] is the
+	// fragment of relation j at compute node i, keys encoding Tuple2s.
+	Rels [][][]uint64
 	Seed uint64
 }
 
@@ -34,7 +39,16 @@ const (
 	TaskPair TaskKind = iota
 	// TaskSingle tasks consume TaskInput.Data.
 	TaskSingle
+	// TaskMulti tasks consume TaskInput.Rels.
+	TaskMulti
 )
+
+// EncodeTuple2 packs a Tuple2 into one registry key; attributes must fit
+// in 32 bits.
+func EncodeTuple2(t Tuple2) uint64 { return t.A<<32 | t.B&0xffffffff }
+
+// DecodeTuple2 unpacks a registry key into a Tuple2.
+func DecodeTuple2(key uint64) Tuple2 { return Tuple2{A: key >> 32, B: key & 0xffffffff} }
 
 // TaskResult is the uniform outcome of a registry task: a one-line summary
 // of the verified output plus the cost accounting.
@@ -61,7 +75,14 @@ type Task struct {
 	// when keys repeat (aggregate: every group distinct means a zero lower
 	// bound); drivers should generate low-cardinality data.
 	WantsDuplicates bool
-	Run             func(c *Cluster, in TaskInput) (*TaskResult, error)
+	// NumRelations is how many relations a TaskMulti task consumes (0
+	// lets the driver choose; the triangle shape is fixed at 3).
+	NumRelations int
+	// Cyclic marks TaskMulti tasks with a cyclic join graph (triangle):
+	// drivers must generate relations whose attribute pairs chain
+	// R(a,b), S(b,c), T(c,a) over a shared domain.
+	Cyclic bool
+	Run    func(c *Cluster, in TaskInput) (*TaskResult, error)
 }
 
 var taskRegistry = map[string]Task{}
@@ -237,6 +258,68 @@ func init() {
 			return aggregateResult(in, res)
 		},
 	})
+	RegisterTask(Task{
+		Name:         "triangle",
+		Description:  "triangle join R⋈S⋈T with the topology-aware HyperCube shuffle",
+		Kind:         TaskMulti,
+		NumRelations: 3,
+		Cyclic:       true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			r, s, t, err := triangleRels(in)
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.TriangleJoin(r, s, t, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return multijoinTaskResult("triangles", in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:         "triangle-flat",
+		Description:  "triangle join with flat (topology-oblivious) HyperCube",
+		Kind:         TaskMulti,
+		NumRelations: 3,
+		Cyclic:       true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			r, s, t, err := triangleRels(in)
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.TriangleJoinBaseline(r, s, t, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return multijoinTaskResult("triangles", in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:         "starjoin",
+		Description:  "k-way star join with capacity-weighted hashing",
+		Kind:         TaskMulti,
+		NumRelations: 4,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.StarJoin(decodeRels(in.Rels), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return multijoinTaskResult("rows", in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:         "starjoin-flat",
+		Description:  "k-way star join with topology-oblivious uniform hashing",
+		Kind:         TaskMulti,
+		NumRelations: 4,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.StarJoinBaseline(decodeRels(in.Rels), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return multijoinTaskResult("rows", in, res)
+		},
+	})
 }
 
 func intersectResult(in TaskInput, res *IntersectResult) (*TaskResult, error) {
@@ -326,6 +409,43 @@ func aggregateResult(in TaskInput, res *AggregateResult) (*TaskResult, error) {
 	}
 	return &TaskResult{
 		Summary: fmt.Sprintf("records=%d groups=%d", sizes(in.Data), len(want)),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+func decodeRels(rels [][][]uint64) [][][]Tuple2 {
+	out := make([][][]Tuple2, len(rels))
+	for j, rel := range rels {
+		out[j] = make([][]Tuple2, len(rel))
+		for i, frag := range rel {
+			out[j][i] = make([]Tuple2, len(frag))
+			for k, key := range frag {
+				out[j][i][k] = DecodeTuple2(key)
+			}
+		}
+	}
+	return out
+}
+
+func triangleRels(in TaskInput) (r, s, t [][]Tuple2, err error) {
+	if len(in.Rels) != 3 {
+		return nil, nil, nil, fmt.Errorf("triangle: needs exactly 3 relations, got %d", len(in.Rels))
+	}
+	rels := decodeRels(in.Rels)
+	return rels[0], rels[1], rels[2], nil
+}
+
+// multijoinTaskResult summarizes a multiway join. The Cluster methods have
+// already verified the output count and checksum against the reference
+// evaluation.
+func multijoinTaskResult(unit string, in TaskInput, res *MultijoinResult) (*TaskResult, error) {
+	var total int64
+	for _, rel := range in.Rels {
+		total += sizes(rel)
+	}
+	return &TaskResult{
+		Summary: fmt.Sprintf("k=%d N=%d %s=%d shares=%v", len(in.Rels), total, unit, res.Outputs, res.Shares),
 		Cost:    res.Cost,
 		Report:  res.Report,
 	}, nil

@@ -49,6 +49,30 @@ func testInput(t *testing.T, c *Cluster, spec Task, n int) TaskInput {
 		if in.Data, err = dataset.SplitUniform(keys, p); err != nil {
 			t.Fatal(err)
 		}
+	case TaskMulti:
+		k := spec.NumRelations
+		if k == 0 {
+			k = 3
+		}
+		m := n / k
+		dom := 24
+		if !spec.Cyclic {
+			dom = max(2, m/4)
+		}
+		in.Rels = make([][][]uint64, k)
+		for j := range in.Rels {
+			keys := make([]uint64, m)
+			for i := range keys {
+				b := uint64(rng.Intn(dom))
+				if !spec.Cyclic {
+					b = rng.Uint64() & 0xffffffff
+				}
+				keys[i] = EncodeTuple2(Tuple2{A: uint64(rng.Intn(dom)), B: b})
+			}
+			if in.Rels[j], err = dataset.SplitUniform(keys, p); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	return in
 }

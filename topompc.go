@@ -26,6 +26,7 @@ import (
 
 	"topompc/internal/core/cartesian"
 	"topompc/internal/core/intersect"
+	"topompc/internal/core/multijoin"
 	"topompc/internal/core/sorting"
 	"topompc/internal/dataset"
 	"topompc/internal/lowerbound"
@@ -158,9 +159,13 @@ type Cost struct {
 func (c Cost) Ratio() float64 { return netsim.Ratio(c.Cost, c.LowerBound) }
 
 func (c *Cluster) checkFragments(name string, frags [][]uint64) error {
-	if len(frags) != c.t.NumCompute() {
+	return c.checkFragmentCount(name, len(frags))
+}
+
+func (c *Cluster) checkFragmentCount(name string, n int) error {
+	if n != c.t.NumCompute() {
 		return fmt.Errorf("topompc: %s has %d fragments, cluster has %d compute nodes",
-			name, len(frags), c.t.NumCompute())
+			name, n, c.t.NumCompute())
 	}
 	return nil
 }
@@ -376,6 +381,141 @@ func (c *Cluster) sortWith(data [][]uint64, run func(dataset.Placement) (*sortin
 		Cost:      c.costOf(res.Report, lb.Value),
 		Report:    res.Report,
 	}, nil
+}
+
+// Tuple2 is one two-attribute relation row for the multiway joins. In the
+// triangle query the attributes are the relation's two join attributes
+// (R: (a,b), S: (b,c), T: (c,a)); in the star query A is the shared join
+// attribute and B an opaque payload.
+type Tuple2 struct {
+	A, B uint64
+}
+
+// MultijoinResult is the outcome of a distributed multiway join. Output
+// rows are enumerated and counted at the nodes, not materialized.
+type MultijoinResult struct {
+	// Outputs is the total number of output rows.
+	Outputs int64
+	// PerNode is the per-node share of the output.
+	PerNode []int64
+	// Shares is the HyperCube share grid used (triangle: [g_a,g_b,g_c];
+	// star: [p]).
+	Shares []int
+	// CellsPerNode is the number of share-grid cells owned by each compute
+	// node (triangle shape).
+	CellsPerNode []int
+	// Cost is the execution cost in wire elements (2 per tuple) against
+	// the tuple-transfer cut bound (lowerbound.Multijoin).
+	Cost Cost
+	// Report is the per-round cost accounting of the execution.
+	Report *netsim.Report
+}
+
+// TriangleJoin computes the triangle join R(a,b) ⋈ S(b,c) ⋈ T(c,a) with
+// the topology-aware HyperCube shuffle: share-grid cells are apportioned
+// over the compute nodes proportionally to the bandwidth capacity of each
+// node's subtree, so slabs stop spanning weak cuts. One round. The output
+// count and checksum are verified against a centralized reference
+// evaluation before returning.
+func (c *Cluster) TriangleJoin(r, s, t [][]Tuple2, seed uint64) (*MultijoinResult, error) {
+	return c.triangleWith(r, s, t, func(pr, ps, pt multijoin.Placement) (*multijoin.Result, error) {
+		return multijoin.Triangle(c.t, pr, ps, pt, seed, c.exec.netsimOpts()...)
+	})
+}
+
+// TriangleJoinBaseline computes the triangle join with flat HyperCube —
+// uniformly weighted cells in compute-node order, as on a flat network —
+// for comparison.
+func (c *Cluster) TriangleJoinBaseline(r, s, t [][]Tuple2, seed uint64) (*MultijoinResult, error) {
+	return c.triangleWith(r, s, t, func(pr, ps, pt multijoin.Placement) (*multijoin.Result, error) {
+		return multijoin.TriangleFlat(c.t, pr, ps, pt, seed, c.exec.netsimOpts()...)
+	})
+}
+
+func (c *Cluster) triangleWith(r, s, t [][]Tuple2,
+	run func(pr, ps, pt multijoin.Placement) (*multijoin.Result, error)) (*MultijoinResult, error) {
+	for _, in := range []struct {
+		name  string
+		frags [][]Tuple2
+	}{{"r", r}, {"s", s}, {"t", t}} {
+		if err := c.checkFragmentCount(in.name, len(in.frags)); err != nil {
+			return nil, err
+		}
+	}
+	pr, ps, pt := tuple2Placement(r), tuple2Placement(s), tuple2Placement(t)
+	res, err := run(pr, ps, pt)
+	if err != nil {
+		return nil, err
+	}
+	ref := multijoin.TriangleReference(pr, ps, pt)
+	if got := res.TotalOutputs(); got != ref.Count || res.Checksum != ref.Checksum {
+		return nil, fmt.Errorf("topompc: triangle join emitted %d rows (checksum %x), reference has %d (%x)",
+			got, res.Checksum, ref.Count, ref.Checksum)
+	}
+	lb := lowerbound.Multijoin(c.t, ref.Count, ref.MaxDeg, multijoin.TriangleCutCounts(c.t, pr, ps, pt))
+	return c.multijoinResult(res, ref.Count, lb.Value), nil
+}
+
+// StarJoin computes the k-way star join R_1(a,b_1) ⋈ … ⋈ R_k(a,b_k) on
+// the shared attribute a with capacity-weighted hashing (the HyperCube
+// share vector of a star query degenerates to a hash partition of a). One
+// round; output verified against a centralized reference evaluation.
+func (c *Cluster) StarJoin(rels [][][]Tuple2, seed uint64) (*MultijoinResult, error) {
+	return c.starWith(rels, func(ps []multijoin.Placement) (*multijoin.Result, error) {
+		return multijoin.Star(c.t, ps, seed, c.exec.netsimOpts()...)
+	})
+}
+
+// StarJoinBaseline computes the star join with topology-oblivious uniform
+// hashing, for comparison.
+func (c *Cluster) StarJoinBaseline(rels [][][]Tuple2, seed uint64) (*MultijoinResult, error) {
+	return c.starWith(rels, func(ps []multijoin.Placement) (*multijoin.Result, error) {
+		return multijoin.StarFlat(c.t, ps, seed, c.exec.netsimOpts()...)
+	})
+}
+
+func (c *Cluster) starWith(rels [][][]Tuple2,
+	run func([]multijoin.Placement) (*multijoin.Result, error)) (*MultijoinResult, error) {
+	ps := make([]multijoin.Placement, len(rels))
+	for j, rel := range rels {
+		if err := c.checkFragmentCount(fmt.Sprintf("relation %d", j+1), len(rel)); err != nil {
+			return nil, err
+		}
+		ps[j] = tuple2Placement(rel)
+	}
+	res, err := run(ps)
+	if err != nil {
+		return nil, err
+	}
+	ref := multijoin.StarReference(ps)
+	if got := res.TotalOutputs(); got != ref.Count || res.Checksum != ref.Checksum {
+		return nil, fmt.Errorf("topompc: star join emitted %d rows (checksum %x), reference has %d (%x)",
+			got, res.Checksum, ref.Count, ref.Checksum)
+	}
+	lb := lowerbound.Multijoin(c.t, ref.Count, ref.MaxDeg, multijoin.StarCutCounts(c.t, ps))
+	return c.multijoinResult(res, ref.Count, lb.Value), nil
+}
+
+func (c *Cluster) multijoinResult(res *multijoin.Result, outputs int64, lb float64) *MultijoinResult {
+	return &MultijoinResult{
+		Outputs:      outputs,
+		PerNode:      res.PerNode,
+		Shares:       res.Shares,
+		CellsPerNode: res.CellsPerNode,
+		Cost:         c.costOf(res.Report, lb),
+		Report:       res.Report,
+	}
+}
+
+func tuple2Placement(frags [][]Tuple2) multijoin.Placement {
+	out := make(multijoin.Placement, len(frags))
+	for i, frag := range frags {
+		out[i] = make([]multijoin.Tuple, len(frag))
+		for j, tp := range frag {
+			out[i][j] = multijoin.Tuple{A: tp.A, B: tp.B}
+		}
+	}
+	return out
 }
 
 // LowerBounds reports the three task lower bounds for a hypothetical input
