@@ -3,7 +3,10 @@
 // recorded results live in EXPERIMENTS.md). It can also time any task from
 // the protocol registry on a chosen topology (-task); with -json the
 // timing results are additionally written to BENCH_<task>.json for
-// machine consumption (CI uploads these as artifacts).
+// machine consumption (CI uploads these as artifacts). -all times every
+// registered task on the chosen topology and writes the combined records
+// to BENCH_all.json, so the per-PR performance trajectory accumulates in
+// one artifact.
 //
 // Usage:
 //
@@ -12,12 +15,16 @@
 //	topobench -run E1,E8 -quick
 //	topobench -task sort -topo twotier -n 100000 -reps 5 -workers 4
 //	topobench -task triangle -topo caterpillar -n 20000 -reps 3 -json
+//	topobench -all -n 20000 -reps 1
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"os"
 	"strings"
@@ -29,77 +36,115 @@ import (
 )
 
 func main() {
-	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed    = flag.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
-		quick   = flag.Bool("quick", false, "reduced sweeps")
-		format  = flag.String("format", "text", "output format: text or md")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		task    = flag.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
-		topo    = flag.String("topo", "twotier", "topology for -task: star:PxW, twotier, fattree, caterpillar, or @file.json")
-		n       = flag.Int("n", 100000, "input size for -task")
-		place   = flag.String("place", "uniform", "placement for -task: uniform, zipf, oneheavy, single")
-		reps    = flag.Int("reps", 3, "timed repetitions for -task")
-		workers = flag.Int("workers", 0, "goroutine budget for -task (0 = all CPUs)")
-		bits    = flag.Int("bits", 0, "bit-width accounting for -task (0 = elements only)")
-		jsonOut = flag.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *task != "" {
-		if err := timeTask(*task, *topo, *place, *n, *reps, *workers, *bits, *seed, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "topobench: %v\n", err)
-			os.Exit(1)
+// benchConfig is the shared configuration of the task-timing modes.
+type benchConfig struct {
+	topo, place            string
+	n, reps, workers, bits int
+	seed                   uint64
+}
+
+// run executes the command with the given arguments and streams; it
+// returns the process exit code. Split from main so the flag handling and
+// output are testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed    = fs.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
+		quick   = fs.Bool("quick", false, "reduced sweeps")
+		format  = fs.String("format", "text", "output format: text or md")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		task    = fs.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
+		all     = fs.Bool("all", false, "time every registry task on -topo and write combined BENCH_all.json")
+		topo    = fs.String("topo", "twotier", "topology for -task/-all: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		n       = fs.Int("n", 100000, "input size for -task/-all")
+		place   = fs.String("place", "uniform", "placement for -task/-all: uniform, zipf, oneheavy, single")
+		reps    = fs.Int("reps", 3, "timed repetitions for -task/-all")
+		workers = fs.Int("workers", 0, "goroutine budget for -task/-all (0 = all CPUs)")
+		bits    = fs.Int("bits", 0, "bit-width accounting for -task/-all (0 = elements only)")
+		jsonOut = fs.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
-		return
+		return 2
+	}
+
+	cfg := benchConfig{
+		topo: *topo, place: *place, n: *n, reps: *reps,
+		workers: *workers, bits: *bits, seed: *seed,
+	}
+	if *all {
+		if *task != "" || *jsonOut {
+			fmt.Fprintln(stderr, "topobench: -all conflicts with -task/-json (it times every task and always writes BENCH_all.json)")
+			return 2
+		}
+		if err := timeAll(cfg, stdout); err != nil {
+			fmt.Fprintf(stderr, "topobench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *task != "" {
+		if err := timeTask(*task, cfg, *jsonOut, stdout); err != nil {
+			fmt.Fprintf(stderr, "topobench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
 		for _, e := range exper.All() {
-			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Paper)
+			fmt.Fprintf(stdout, "%-4s %-70s [%s]\n", e.ID, e.Title, e.Paper)
 		}
-		return
+		return 0
 	}
 
 	var selected []exper.Experiment
-	if *run == "all" {
+	if *runIDs == "all" {
 		selected = exper.All()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := exper.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "topobench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "topobench: unknown experiment %q (use -list)\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	cfg := exper.Config{Seed: *seed, Quick: *quick}
+	ecfg := exper.Config{Seed: *seed, Quick: *quick}
 	for _, e := range selected {
 		if *format == "md" {
-			fmt.Printf("## %s — %s\n\nRegenerates: %s\n\n", e.ID, e.Title, e.Paper)
+			fmt.Fprintf(stdout, "## %s — %s\n\nRegenerates: %s\n\n", e.ID, e.Title, e.Paper)
 		} else {
-			fmt.Printf("### %s — %s  [%s]\n\n", e.ID, e.Title, e.Paper)
+			fmt.Fprintf(stdout, "### %s — %s  [%s]\n\n", e.ID, e.Title, e.Paper)
 		}
-		tables, err := e.Run(cfg)
+		tables, err := e.Run(ecfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "topobench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "topobench: %s: %v\n", e.ID, err)
+			return 1
 		}
 		for _, tb := range tables {
 			if *format == "md" {
-				fmt.Println(tb.Markdown())
+				fmt.Fprintln(stdout, tb.Markdown())
 			} else {
-				fmt.Println(tb.String())
+				fmt.Fprintln(stdout, tb.String())
 			}
 		}
 	}
+	return 0
 }
 
-// benchRecord is the machine-readable result of one -task timing run,
-// serialized to BENCH_<task>.json when -json is set.
+// benchRecord is the machine-readable result of one task timing run,
+// serialized to BENCH_<task>.json (or a BENCH_all.json entry).
 type benchRecord struct {
 	Task       string  `json:"task"`
 	Topo       string  `json:"topo"`
@@ -120,42 +165,40 @@ type benchRecord struct {
 	Summary    string  `json:"summary"`
 }
 
-// timeTask runs one registry task repeatedly and reports model cost next
-// to wall-clock time, exercising the exchange-plan runtime end to end.
-func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64, jsonOut bool) error {
-	spec, ok := topompc.LookupTask(name)
-	if !ok {
-		return fmt.Errorf("unknown task %q (see toposim -list-tasks)", name)
-	}
-	tree, err := cliutil.ParseTopo(topo)
+// timeOne runs one registry task cfg.reps times and reports model cost
+// next to wall-clock time, exercising the exchange-plan runtime end to
+// end.
+func timeOne(spec topompc.Task, cfg benchConfig, stdout io.Writer) (benchRecord, error) {
+	tree, err := cliutil.ParseTopo(cfg.topo)
 	if err != nil {
-		return err
+		return benchRecord{}, err
 	}
+	reps := cfg.reps
 	if reps < 1 {
 		reps = 1
 	}
 	cluster := topompc.NewCluster(tree)
-	cluster.SetExecOptions(topompc.ExecOptions{Workers: workers, BitsPerElement: bits})
-	rng := rand.New(rand.NewSource(int64(seed)))
-	placer := cliutil.Placer(place, int64(seed))
-	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), n, 0, 0, seed)
+	cluster.SetExecOptions(topompc.ExecOptions{Workers: cfg.workers, BitsPerElement: cfg.bits})
+	rng := rand.New(rand.NewSource(int64(cfg.seed)))
+	placer := cliutil.Placer(cfg.place, int64(cfg.seed))
+	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), cfg.n, 0, 0, cfg.seed)
 	if err != nil {
-		return err
+		return benchRecord{}, err
 	}
 
-	fmt.Printf("%s on %s: n=%d nodes=%d workers=%d reps=%d\n",
-		name, topo, n, cluster.NumNodes(), workers, reps)
+	fmt.Fprintf(stdout, "%s on %s: n=%d nodes=%d workers=%d reps=%d\n",
+		spec.Name, cfg.topo, cfg.n, cluster.NumNodes(), cfg.workers, reps)
 	rec := benchRecord{
-		Task: name, Topo: topo, Place: place, N: n,
-		Nodes: cluster.NumNodes(), Workers: workers, Seed: seed, Reps: reps,
+		Task: spec.Name, Topo: cfg.topo, Place: cfg.place, N: cfg.n,
+		Nodes: cluster.NumNodes(), Workers: cfg.workers, Seed: cfg.seed, Reps: reps,
 	}
 	var best time.Duration
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
-		res, err := cluster.RunTask(name, in)
+		res, err := cluster.RunTask(spec.Name, in)
 		elapsed := time.Since(start)
 		if err != nil {
-			return err
+			return benchRecord{}, err
 		}
 		if best == 0 || elapsed < best {
 			best = elapsed
@@ -164,26 +207,76 @@ func timeTask(name, topo, place string, n, reps, workers, bits int, seed uint64,
 		rec.Rounds = res.Cost.Rounds
 		rec.Cost = res.Cost.Cost
 		rec.LowerBound = res.Cost.LowerBound
-		rec.Ratio = res.Cost.Ratio()
+		// A zero instance bound makes the ratio +Inf, which JSON cannot
+		// encode; report 0 for "no finite ratio", in both outputs.
+		if r := res.Cost.Ratio(); !math.IsInf(r, 0) {
+			rec.Ratio = r
+		} else {
+			rec.Ratio = 0
+		}
 		rec.Elements = res.Cost.Elements
 		rec.Summary = res.Summary
-		fmt.Printf("  rep %d: %v  cost=%.3f  ratio=%.3f  [%s]\n",
-			rep+1, elapsed.Round(time.Microsecond), res.Cost.Cost, res.Cost.Ratio(), res.Summary)
+		fmt.Fprintf(stdout, "  rep %d: %v  cost=%.3f  ratio=%.3f  [%s]\n",
+			rep+1, elapsed.Round(time.Microsecond), res.Cost.Cost, rec.Ratio, res.Summary)
 	}
-	fmt.Printf("best: %v (%.1f Melem/s)\n", best.Round(time.Microsecond),
-		float64(n)/best.Seconds()/1e6)
+	rec.BestNs = best.Nanoseconds()
+	rec.MelemPerS = float64(cfg.n) / best.Seconds() / 1e6
+	fmt.Fprintf(stdout, "best: %v (%.1f Melem/s)\n", best.Round(time.Microsecond), rec.MelemPerS)
+	return rec, nil
+}
+
+// timeTask times one named task, optionally writing BENCH_<task>.json.
+func timeTask(name string, cfg benchConfig, jsonOut bool, stdout io.Writer) error {
+	spec, ok := topompc.LookupTask(name)
+	if !ok {
+		return fmt.Errorf("unknown task %q (see toposim -list-tasks)", name)
+	}
+	rec, err := timeOne(spec, cfg, stdout)
+	if err != nil {
+		return err
+	}
 	if jsonOut {
-		rec.BestNs = best.Nanoseconds()
-		rec.MelemPerS = float64(n) / best.Seconds() / 1e6
-		data, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
-			return err
-		}
 		path := fmt.Sprintf("BENCH_%s.json", name)
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		if err := writeJSON(path, rec); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(stdout, "wrote %s\n", path)
 	}
 	return nil
+}
+
+// benchAll is the combined record of an -all sweep, one entry per
+// registered task, serialized to BENCH_all.json.
+type benchAll struct {
+	Topo    string        `json:"topo"`
+	Place   string        `json:"place"`
+	N       int           `json:"n"`
+	Seed    uint64        `json:"seed"`
+	Records []benchRecord `json:"records"`
+}
+
+// timeAll times every registered task on the configured fixture and
+// writes the combined BENCH_all.json.
+func timeAll(cfg benchConfig, stdout io.Writer) error {
+	out := benchAll{Topo: cfg.topo, Place: cfg.place, N: cfg.n, Seed: cfg.seed}
+	for _, spec := range topompc.Tasks() {
+		rec, err := timeOne(spec, cfg, stdout)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		out.Records = append(out.Records, rec)
+	}
+	if err := writeJSON("BENCH_all.json", out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote BENCH_all.json (%d tasks)\n", len(out.Records))
+	return nil
+}
+
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -10,12 +10,15 @@
 //	toposim -topo twotier -task aggregate -n 20000 -workers 4 -bits 64
 //	toposim -topo twotier -task triangle -n 30000 -edges
 //	toposim -topo caterpillar -task starjoin -n 30000 -place zipf
+//	toposim -topo twotier -task cc -n 30000 -place zipf
 //	toposim -topo @cluster.json -task cartesian -n 4096
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -24,67 +27,81 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with the given arguments and streams; it
+// returns the process exit code. Split from main so the flag handling and
+// output are testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("toposim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topo      = flag.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
-		task      = flag.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
-		n         = flag.Int("n", 10000, "total input size (pair tasks split it between R and S)")
-		sizeR     = flag.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")
-		sizeS     = flag.Int("sizeS", 0, "pair tasks: |S| (default 3n/4, or n/2 for equal-pair tasks)")
-		place     = flag.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
-		seed      = flag.Int64("seed", 42, "random seed")
-		workers   = flag.Int("workers", 0, "goroutine budget for planning and accounting (0 = all CPUs)")
-		bits      = flag.Int("bits", 0, "report costs in bits at this element width (0 = elements only)")
-		edges     = flag.Bool("edges", false, "print the per-link utilization table")
-		listTasks = flag.Bool("list-tasks", false, "list registered tasks and exit")
+		topo      = fs.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		task      = fs.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
+		n         = fs.Int("n", 10000, "total input size (pair tasks split it between R and S)")
+		sizeR     = fs.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")
+		sizeS     = fs.Int("sizeS", 0, "pair tasks: |S| (default 3n/4, or n/2 for equal-pair tasks)")
+		place     = fs.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
+		seed      = fs.Int64("seed", 42, "random seed")
+		workers   = fs.Int("workers", 0, "goroutine budget for planning and accounting (0 = all CPUs)")
+		bits      = fs.Int("bits", 0, "report costs in bits at this element width (0 = elements only)")
+		edges     = fs.Bool("edges", false, "print the per-link utilization table")
+		listTasks = fs.Bool("list-tasks", false, "list registered tasks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *listTasks {
 		for _, t := range topompc.Tasks() {
-			fmt.Printf("%-20s %s\n", t.Name, t.Description)
+			fmt.Fprintf(stdout, "%-20s %s\n", t.Name, t.Description)
 		}
-		return
+		return 0
 	}
 
 	spec, ok := topompc.LookupTask(*task)
 	if !ok {
-		fail(fmt.Errorf("unknown task %q (use -list-tasks)", *task))
+		fmt.Fprintf(stderr, "toposim: unknown task %q (use -list-tasks)\n", *task)
+		return 1
 	}
 	tree, err := cliutil.ParseTopo(*topo)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "toposim: %v\n", err)
+		return 1
 	}
 	cluster := topompc.NewCluster(tree)
 	cluster.SetExecOptions(topompc.ExecOptions{Workers: *workers, BitsPerElement: *bits})
 
-	fmt.Println("topology:")
-	fmt.Print(cluster)
-	fmt.Println()
+	fmt.Fprintln(stdout, "topology:")
+	fmt.Fprint(stdout, cluster)
+	fmt.Fprintln(stdout)
 
 	rng := rand.New(rand.NewSource(*seed))
 	placer := cliutil.Placer(*place, *seed)
 	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), *n, *sizeR, *sizeS, uint64(*seed))
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "toposim: %v\n", err)
+		return 1
 	}
 
 	res, err := cluster.RunTask(spec.Name, in)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "toposim: %v\n", err)
+		return 1
 	}
-	fmt.Printf("%s: %s\n", spec.Name, res.Summary)
-	fmt.Print(res.Report)
-	fmt.Printf("lower bound: %.3f   ratio: %.3f\n", res.Cost.LowerBound, res.Cost.Ratio())
+	fmt.Fprintf(stdout, "%s: %s\n", spec.Name, res.Summary)
+	fmt.Fprint(stdout, res.Report)
+	fmt.Fprintf(stdout, "lower bound: %.3f   ratio: %.3f\n", res.Cost.LowerBound, res.Cost.Ratio())
 	if res.Cost.Bits > 0 {
-		fmt.Printf("bit cost (%d b/elem): %.0f\n", *bits, res.Cost.Bits)
+		fmt.Fprintf(stdout, "bit cost (%d b/elem): %.0f\n", *bits, res.Cost.Bits)
 	}
 	if *edges {
-		fmt.Println("\nper-link utilization:")
-		fmt.Print(res.Report.EdgeTable())
+		fmt.Fprintln(stdout, "\nper-link utilization:")
+		fmt.Fprint(stdout, res.Report.EdgeTable())
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "toposim: %v\n", err)
-	os.Exit(1)
+	return 0
 }

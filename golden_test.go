@@ -145,6 +145,8 @@ func TestGoldenAwareBeatsFlat(t *testing.T) {
 		{"triangle", "triangle-flat", "caterpillar", "zipf"},
 		{"starjoin", "starjoin-flat", "twotier-skew", "oneheavy"},
 		{"starjoin", "starjoin-flat", "caterpillar", "uniform"},
+		{"cc", "cc-flat", "twotier-skew", "uniform"},
+		{"cc", "cc-flat", "twotier-skew", "zipf"},
 	}
 	for _, tc := range cases {
 		t.Run(fmt.Sprintf("%s/%s/%s", tc.aware, tc.topo, tc.place), func(t *testing.T) {

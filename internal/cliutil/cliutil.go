@@ -3,6 +3,7 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -20,14 +21,31 @@ import (
 //	fattree       2-level fanout-3 fat tree
 //	caterpillar   5-spine caterpillar
 //	@file.json    a topology.Spec JSON file
+//
+// File specs are validated up front — empty node lists, missing compute
+// nodes, unknown endpoints, self-loops, duplicate links, bad bandwidths —
+// so malformed files fail with an error naming the offending entry instead
+// of a generic "not a tree" from deep inside topology construction.
 func ParseTopo(spec string) (*topology.Tree, error) {
 	switch {
 	case strings.HasPrefix(spec, "@"):
-		data, err := os.ReadFile(spec[1:])
+		path := spec[1:]
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		return topology.ParseJSON(data)
+		var s topology.Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := ValidateSpec(s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		t, err := topology.FromSpec(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
 	case strings.HasPrefix(spec, "star:"):
 		parts := strings.SplitN(spec[5:], "x", 2)
 		if len(parts) != 2 {
@@ -51,6 +69,62 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 	default:
 		return nil, fmt.Errorf("unknown topology %q", spec)
 	}
+}
+
+// ValidateSpec checks a topology spec before tree construction and
+// reports precise errors for the mistakes hand-written files actually
+// contain: an empty node list, no compute node, edges naming unknown
+// nodes, self-loops, duplicate links between the same pair, an edge count
+// that cannot form a tree, and non-positive bandwidths (-1, the JSON
+// stand-in for +Inf, is allowed).
+func ValidateSpec(s topology.Spec) error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("cliutil: spec has no nodes")
+	}
+	hasCompute := false
+	for _, n := range s.Nodes {
+		if n.Compute {
+			hasCompute = true
+			break
+		}
+	}
+	if !hasCompute {
+		return fmt.Errorf("cliutil: spec has no compute nodes (%d nodes are all routers)", len(s.Nodes))
+	}
+	if len(s.Edges) != len(s.Nodes)-1 {
+		return fmt.Errorf("cliutil: spec has %d edges for %d nodes; a tree needs exactly %d",
+			len(s.Edges), len(s.Nodes), len(s.Nodes)-1)
+	}
+	name := func(i int) string {
+		if n := s.Nodes[i].Name; n != "" {
+			return fmt.Sprintf("%d (%q)", i, n)
+		}
+		return fmt.Sprint(i)
+	}
+	seen := make(map[[2]int]int, len(s.Edges))
+	for i, e := range s.Edges {
+		if e.A < 0 || e.A >= len(s.Nodes) || e.B < 0 || e.B >= len(s.Nodes) {
+			return fmt.Errorf("cliutil: edge %d (%d-%d) references an unknown node (spec has %d nodes)",
+				i, e.A, e.B, len(s.Nodes))
+		}
+		if e.A == e.B {
+			return fmt.Errorf("cliutil: edge %d is a self-loop on node %s", i, name(e.A))
+		}
+		key := [2]int{e.A, e.B}
+		if e.B < e.A {
+			key = [2]int{e.B, e.A}
+		}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("cliutil: edge %d duplicates edge %d between nodes %s and %s",
+				i, prev, name(e.A), name(e.B))
+		}
+		seen[key] = i
+		if !(e.BW > 0) && e.BW != -1 {
+			return fmt.Errorf("cliutil: edge %d (%s-%s) has invalid bandwidth %v (want > 0, or -1 for +Inf)",
+				i, name(e.A), name(e.B), e.BW)
+		}
+	}
+	return nil
 }
 
 // PlaceFunc splits keys over p nodes.

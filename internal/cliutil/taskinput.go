@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -17,6 +18,18 @@ import (
 // nodes.
 func TaskData(spec topompc.Task, rng *rand.Rand, placer PlaceFunc, p, n, sizeR, sizeS int, seed uint64) (topompc.TaskInput, error) {
 	in := topompc.TaskInput{Seed: seed}
+	if p <= 0 {
+		return in, fmt.Errorf("cliutil: task %s needs at least one compute node, got %d", spec.Name, p)
+	}
+	if sizeR < 0 || sizeS < 0 {
+		return in, fmt.Errorf("cliutil: task %s sizes must be non-negative, got sizeR=%d sizeS=%d",
+			spec.Name, sizeR, sizeS)
+	}
+	// Pair tasks with both sizes given never consult n; everything else
+	// derives its input from it.
+	if n <= 0 && !(spec.Kind == topompc.TaskPair && sizeR > 0 && sizeS > 0) {
+		return in, fmt.Errorf("cliutil: task %s needs a positive input size, got n=%d", spec.Name, n)
+	}
 	switch spec.Kind {
 	case topompc.TaskMulti:
 		k := spec.NumRelations
@@ -76,6 +89,20 @@ func TaskData(spec topompc.Task, rng *rand.Rand, placer PlaceFunc, p, n, sizeR, 
 			return in, err
 		}
 		if in.S, err = placer(rng, sk, p); err != nil {
+			return in, err
+		}
+	case topompc.TaskGraph:
+		// n packed edges over a vertex set sized for an interesting
+		// component structure: average degree ~6 yields one giant component
+		// plus a fringe of small ones.
+		verts := max(4, n/3)
+		pairs := float64(verts) * float64(verts-1) / 2
+		edges, err := dataset.GNP(rng, verts, min(1, float64(n)/pairs))
+		if err != nil {
+			return in, err
+		}
+		dataset.Shuffle(rng, edges)
+		if in.Data, err = placer(rng, edges, p); err != nil {
 			return in, err
 		}
 	case topompc.TaskSingle:

@@ -1,0 +1,175 @@
+package cliutil
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topompc"
+	"topompc/internal/topology"
+)
+
+// TestValidateSpecErrors exercises every rejection path with the mistakes
+// hand-written spec files actually contain, and checks that the error
+// names the offending entry rather than a generic "not a tree".
+func TestValidateSpecErrors(t *testing.T) {
+	router := topology.SpecNode{Name: "w", Compute: false}
+	compute := func(name string) topology.SpecNode { return topology.SpecNode{Name: name, Compute: true} }
+	cases := []struct {
+		name string
+		spec topology.Spec
+		want string
+	}{
+		{
+			name: "empty",
+			spec: topology.Spec{},
+			want: "no nodes",
+		},
+		{
+			name: "no-compute",
+			spec: topology.Spec{Nodes: []topology.SpecNode{router}},
+			want: "no compute nodes",
+		},
+		{
+			name: "edge-count",
+			spec: topology.Spec{
+				Nodes: []topology.SpecNode{router, compute("a"), compute("b")},
+				Edges: []topology.SpecEdge{{A: 1, B: 0, BW: 2}},
+			},
+			want: "a tree needs exactly 2",
+		},
+		{
+			name: "unknown-node",
+			spec: topology.Spec{
+				Nodes: []topology.SpecNode{router, compute("a")},
+				Edges: []topology.SpecEdge{{A: 1, B: 7, BW: 2}},
+			},
+			want: "unknown node",
+		},
+		{
+			name: "self-loop",
+			spec: topology.Spec{
+				Nodes: []topology.SpecNode{router, compute("a")},
+				Edges: []topology.SpecEdge{{A: 1, B: 1, BW: 2}},
+			},
+			want: `self-loop on node 1 ("a")`,
+		},
+		{
+			name: "duplicate-edge",
+			spec: topology.Spec{
+				Nodes: []topology.SpecNode{router, compute("a"), compute("b")},
+				Edges: []topology.SpecEdge{{A: 1, B: 0, BW: 2}, {A: 0, B: 1, BW: 3}},
+			},
+			want: "duplicates edge 0",
+		},
+		{
+			name: "bad-bandwidth",
+			spec: topology.Spec{
+				Nodes: []topology.SpecNode{router, compute("a"), compute("b")},
+				Edges: []topology.SpecEdge{{A: 1, B: 0, BW: 2}, {A: 2, B: 0, BW: -3}},
+			},
+			want: "invalid bandwidth -3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSpec(tc.spec)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// -1 (the JSON stand-in for +Inf) is a valid bandwidth.
+	ok := topology.Spec{
+		Nodes: []topology.SpecNode{router, compute("a"), compute("b")},
+		Edges: []topology.SpecEdge{{A: 1, B: 0, BW: -1}, {A: 2, B: 0, BW: 3}},
+	}
+	if err := ValidateSpec(ok); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestParseTopoFileValidation: a malformed file fails through ParseTopo
+// with the file name and the precise mistake.
+func TestParseTopoFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dup.json")
+	spec := `{"nodes":[{"name":"w"},{"name":"a","compute":true},{"name":"b","compute":true}],
+		"edges":[{"a":1,"b":0,"bw":2},{"a":0,"b":1,"bw":3}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParseTopo("@" + path)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "dup.json") || !strings.Contains(err.Error(), "duplicates") {
+		t.Errorf("error %q should name the file and the duplicate edge", err)
+	}
+}
+
+// TestTaskDataErrors: empty clusters and empty inputs are rejected up
+// front instead of producing empty fragments that fail deep in a
+// protocol.
+func TestTaskDataErrors(t *testing.T) {
+	spec, ok := topompc.LookupTask("sort")
+	if !ok {
+		t.Fatal("sort task missing")
+	}
+	rng := rand.New(rand.NewSource(1))
+	placer := Placer("uniform", 1)
+	if _, err := TaskData(spec, rng, placer, 0, 1000, 0, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "compute node") {
+		t.Errorf("p=0: got %v", err)
+	}
+	if _, err := TaskData(spec, rng, placer, 4, 0, 0, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "positive") {
+		t.Errorf("n=0: got %v", err)
+	}
+	if _, err := TaskData(spec, rng, placer, 4, -5, 0, 0, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+	pair, ok := topompc.LookupTask("intersect")
+	if !ok {
+		t.Fatal("intersect task missing")
+	}
+	if _, err := TaskData(pair, rng, placer, 4, 1000, -1, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Errorf("sizeR=-1: got %v", err)
+	}
+}
+
+// TestTaskDataGraph: graph tasks get packed edges whose endpoints decode
+// to a plausible vertex range.
+func TestTaskDataGraph(t *testing.T) {
+	spec, ok := topompc.LookupTask("cc")
+	if !ok {
+		t.Fatal("cc task missing")
+	}
+	rng := rand.New(rand.NewSource(2))
+	in, err := TaskData(spec, rng, Placer("uniform", 2), 4, 1200, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Data) != 4 {
+		t.Fatalf("%d fragments, want 4", len(in.Data))
+	}
+	total := 0
+	for _, frag := range in.Data {
+		total += len(frag)
+		for _, key := range frag {
+			e := topompc.DecodeTuple2(key)
+			if e.A >= 400 || e.B >= 400 || e.A == e.B {
+				t.Fatalf("implausible edge (%d,%d)", e.A, e.B)
+			}
+		}
+	}
+	if total < 600 || total > 2400 {
+		t.Errorf("generated %d edges for n=1200", total)
+	}
+}

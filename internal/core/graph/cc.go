@@ -1,0 +1,718 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"topompc/internal/core/multijoin"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// maxPhases bounds the contraction loop defensively: min-hooking leaves an
+// independent set of labels per phase (at least halving), so 64 phases
+// outruns any uint64-labeled input.
+const maxPhases = 64
+
+// maxJumpIters bounds one phase's pointer-jumping loop; path halving
+// converges in O(log chain) iterations and hooking chains are at most the
+// label count, so 128 is unreachable without a bug.
+const maxJumpIters = 128
+
+// CC computes connected components with the topology-aware protocol:
+// capacity-weighted vertex homes and per-cut combining of label updates.
+func CC(t *topology.Tree, edges Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return run(t, edges, seed, true, false, opts)
+}
+
+// CCFlat is the topology-oblivious baseline: uniform vertex homes and
+// direct update delivery, as on a flat network.
+func CCFlat(t *topology.Tree, edges Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return run(t, edges, seed, false, false, opts)
+}
+
+// SpanningForest runs the topology-aware protocol with witness tracking:
+// every hooking records the original graph edge that joined the two
+// components, and the union of witnesses is a spanning forest.
+func SpanningForest(t *topology.Tree, edges Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return run(t, edges, seed, true, true, opts)
+}
+
+// workEdge is one active contracted edge: the current endpoint labels plus
+// the original witness endpoints (needed so a hooking can name a real
+// graph edge after arbitrary relabelings).
+type workEdge struct {
+	a, b   uint64
+	wu, wv uint64
+}
+
+// prop is a min-neighbor proposal for one label: the smallest neighbor
+// label seen, with its witness edge. The total order (b, wu, wv) makes
+// min-combining deterministic.
+type prop struct {
+	b, wu, wv uint64
+}
+
+func betterProp(x, y prop) bool {
+	if x.b != y.b {
+		return x.b < y.b
+	}
+	if x.wu != y.wu {
+		return x.wu < y.wu
+	}
+	return x.wv < y.wv
+}
+
+func upd(m map[uint64]prop, a uint64, p prop) {
+	if q, ok := m[a]; !ok || betterProp(p, q) {
+		m[a] = p
+	}
+}
+
+// blockPlan is the per-cut combining plan of the aware protocol: blocks
+// partition the compute indices, and each block routes its label exchanges
+// through one combiner member before they cross the block boundary.
+type blockPlan struct {
+	blockOf  []int   // compute index -> block
+	combiner []int   // block -> compute index of the block's combiner
+	blocks   [][]int // block -> member compute indices
+}
+
+// combinerBlocks derives the combining plan: blocks are the connected
+// components of the tree after removing its weak edges (bandwidth below
+// half the strongest finite link), so every block boundary is a weak cut
+// worth protecting and every intra-block link is strong. The combiner of a
+// block is its highest-capacity member. Returns nil when combining cannot
+// help: a single block (no weak cut) or all-singleton blocks.
+func combinerBlocks(t *topology.Tree, weights []float64) *blockPlan {
+	maxW := 0.0
+	for e := 0; e < t.NumEdges(); e++ {
+		if w := t.Bandwidth(topology.EdgeID(e)); !math.IsInf(w, 1) && w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		return nil
+	}
+	thresh := maxW / 2
+
+	comp := make([]int, t.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	numComp := 0
+	for start := 0; start < t.NumNodes(); start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := numComp
+		numComp++
+		stack := []topology.NodeID{topology.NodeID(start)}
+		comp[start] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range t.Neighbors(v) {
+				if t.Bandwidth(h.Edge) >= thresh && comp[h.To] == -1 {
+					comp[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+
+	plan := &blockPlan{blockOf: make([]int, t.NumCompute())}
+	blockID := make(map[int]int)
+	for i, v := range t.ComputeNodes() {
+		b, ok := blockID[comp[v]]
+		if !ok {
+			b = len(plan.blocks)
+			blockID[comp[v]] = b
+			plan.blocks = append(plan.blocks, nil)
+		}
+		plan.blockOf[i] = b
+		plan.blocks[b] = append(plan.blocks[b], i)
+	}
+	if len(plan.blocks) <= 1 {
+		return nil
+	}
+	multi := false
+	for _, members := range plan.blocks {
+		if len(members) > 1 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return nil
+	}
+	plan.combiner = make([]int, len(plan.blocks))
+	for b, members := range plan.blocks {
+		best := members[0]
+		for _, m := range members[1:] {
+			if weights[m] > weights[best] {
+				best = m
+			}
+		}
+		plan.combiner[b] = best
+	}
+	return plan
+}
+
+// proto is the driver state of one protocol run. Everything is indexed by
+// compute index (position in ComputeNodes).
+type proto struct {
+	t       *topology.Tree
+	e       *netsim.Engine
+	nodes   []topology.NodeID
+	idx     map[topology.NodeID]int
+	home    func(uint64) int
+	plan    *blockPlan // nil = direct delivery
+	witness bool
+
+	active  [][]workEdge        // contracted edges held locally
+	labelOf []map[uint64]uint64 // home state: vertex -> current label
+	alive   []map[uint64]bool   // home state: labels owned here, still alive
+	forest  [][]Edge            // witness edges per home (witness mode)
+
+	// Per-phase scratch, reset each phase.
+	best   []map[uint64]prop   // home state: min proposal per label
+	parent []map[uint64]uint64 // home state: unresolved jump pointers
+	rootOf []map[uint64]uint64 // home state: resolved roots, a -> root
+}
+
+// round executes one planned exchange with fn planning each compute node's
+// sends.
+func (pr *proto) round(fn func(i int, out *netsim.Outbox)) {
+	x := pr.e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+		fn(pr.idx[v], out)
+	})
+	x.Execute()
+}
+
+// sendByHome groups sorted labels (with optional payload encoding already
+// applied) by home and queues one message per destination.
+func (pr *proto) sendByHome(out *netsim.Outbox, tag netsim.Tag, groups map[int][]uint64) {
+	for h := 0; h < len(pr.nodes); h++ {
+		if batch := groups[h]; len(batch) > 0 {
+			out.Send(pr.nodes[h], tag, batch)
+		}
+	}
+}
+
+// register hashes every distinct local vertex to its home, which
+// initializes the vertex's label to itself. With a combining plan the
+// vertex sets are first unioned at the block combiner, so a vertex
+// appearing in many members' fragments crosses the block boundary once.
+func (pr *proto) register(verts []map[uint64]bool) {
+	send := verts
+	if pr.plan != nil {
+		pr.round(func(i int, out *netsim.Outbox) {
+			if batch := sortedKeys(verts[i]); len(batch) > 0 {
+				out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagVertexUp, batch)
+			}
+		})
+		merged := make([]map[uint64]bool, len(pr.nodes))
+		for i, v := range pr.nodes {
+			merged[i] = make(map[uint64]bool)
+			for _, m := range pr.e.Inbox(v) {
+				if m.Tag != tagVertexUp {
+					continue
+				}
+				for _, x := range m.Keys {
+					merged[i][x] = true
+				}
+			}
+		}
+		send = merged
+	}
+	pr.round(func(i int, out *netsim.Outbox) {
+		groups := make(map[int][]uint64)
+		for _, x := range sortedKeys(send[i]) {
+			h := pr.home(x)
+			groups[h] = append(groups[h], x)
+		}
+		pr.sendByHome(out, tagVertex, groups)
+	})
+	for i, v := range pr.nodes {
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag != tagVertex {
+				continue
+			}
+			for _, x := range m.Keys {
+				if _, ok := pr.labelOf[i][x]; !ok {
+					pr.labelOf[i][x] = x
+					pr.alive[i][x] = true
+				}
+			}
+		}
+	}
+}
+
+// encodeProps serializes a proposal map in ascending label order: stride 2
+// (a, b) or stride 4 (a, b, wu, wv) in witness mode.
+func encodeProps(m map[uint64]prop, witness bool) []uint64 {
+	stride := 2
+	if witness {
+		stride = 4
+	}
+	out := make([]uint64, 0, stride*len(m))
+	for _, a := range sortedKeys(m) {
+		p := m[a]
+		out = append(out, a, p.b)
+		if witness {
+			out = append(out, p.wu, p.wv)
+		}
+	}
+	return out
+}
+
+func decodePropsInto(dst map[uint64]prop, keys []uint64, witness bool) {
+	stride := 2
+	if witness {
+		stride = 4
+	}
+	for k := 0; k+stride <= len(keys); k += stride {
+		p := prop{b: keys[k+1]}
+		if witness {
+			p.wu, p.wv = keys[k+2], keys[k+3]
+		}
+		upd(dst, keys[k], p)
+	}
+}
+
+// propose turns every active edge into min-neighbor proposals for both
+// endpoint labels, min-combines them locally (and per block under a
+// combining plan), delivers them to the label homes, and min-merges them
+// into pr.best.
+func (pr *proto) propose() {
+	local := make([]map[uint64]prop, len(pr.nodes))
+	for i := range pr.nodes {
+		m := make(map[uint64]prop, 2*len(pr.active[i]))
+		for _, ed := range pr.active[i] {
+			upd(m, ed.a, prop{b: ed.b, wu: ed.wu, wv: ed.wv})
+			upd(m, ed.b, prop{b: ed.a, wu: ed.wu, wv: ed.wv})
+		}
+		local[i] = m
+	}
+	if pr.plan != nil {
+		pr.round(func(i int, out *netsim.Outbox) {
+			if len(local[i]) > 0 {
+				out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagProposeUp,
+					encodeProps(local[i], pr.witness))
+			}
+		})
+		merged := make([]map[uint64]prop, len(pr.nodes))
+		for i, v := range pr.nodes {
+			merged[i] = make(map[uint64]prop)
+			for _, m := range pr.e.Inbox(v) {
+				if m.Tag == tagProposeUp {
+					decodePropsInto(merged[i], m.Keys, pr.witness)
+				}
+			}
+		}
+		local = merged
+	}
+	pr.round(func(i int, out *netsim.Outbox) {
+		groups := make(map[int][]uint64)
+		for _, a := range sortedKeys(local[i]) {
+			h := pr.home(a)
+			p := local[i][a]
+			groups[h] = append(groups[h], a, p.b)
+			if pr.witness {
+				groups[h] = append(groups[h], p.wu, p.wv)
+			}
+		}
+		pr.sendByHome(out, tagPropose, groups)
+	})
+	for i, v := range pr.nodes {
+		pr.best[i] = make(map[uint64]prop)
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag == tagPropose {
+				decodePropsInto(pr.best[i], m.Keys, pr.witness)
+			}
+		}
+	}
+}
+
+// hook decides each alive label's fate from its best proposal: labels with
+// a smaller neighbor label hook onto it (recording the witness edge in
+// witness mode); the rest are roots. Returns the number of hooked labels.
+func (pr *proto) hook() int {
+	unresolved := 0
+	for i := range pr.nodes {
+		pr.parent[i] = make(map[uint64]uint64)
+		pr.rootOf[i] = make(map[uint64]uint64)
+		for _, a := range sortedKeys(pr.alive[i]) {
+			if p, ok := pr.best[i][a]; ok && p.b < a {
+				pr.parent[i][a] = p.b
+				if pr.witness {
+					pr.forest[i] = append(pr.forest[i], Edge{U: p.wu, V: p.wv})
+				}
+				unresolved++
+			} else {
+				pr.rootOf[i][a] = a
+			}
+		}
+	}
+	return unresolved
+}
+
+// jump resolves every hooked label to the root of its hooking tree by
+// iterated pointer halving: each iteration, the home of an unresolved
+// label asks the home of its current pointer target either for the root
+// (when the target is resolved) or for the target's own pointer. Pointers
+// strictly decrease along hooks, so the loop terminates in O(log chain)
+// iterations.
+func (pr *proto) jump(unresolved int) error {
+	for iter := 0; unresolved > 0; iter++ {
+		if iter == maxJumpIters {
+			return fmt.Errorf("graph: pointer jumping did not converge after %d iterations", maxJumpIters)
+		}
+		// Queries: one per distinct pointer target per node.
+		waiting := make([]map[uint64][]uint64, len(pr.nodes))
+		pr.round(func(i int, out *netsim.Outbox) {
+			w := make(map[uint64][]uint64)
+			for _, a := range sortedKeys(pr.parent[i]) {
+				q := pr.parent[i][a]
+				w[q] = append(w[q], a)
+			}
+			waiting[i] = w
+			groups := make(map[int][]uint64)
+			for _, q := range sortedKeys(w) {
+				groups[pr.home(q)] = append(groups[pr.home(q)], q)
+			}
+			pr.sendByHome(out, tagJumpQ, groups)
+		})
+		// Replies: root when the target is resolved, one pointer step
+		// otherwise.
+		pr.round(func(j int, out *netsim.Outbox) {
+			for _, m := range pr.e.Inbox(pr.nodes[j]) {
+				if m.Tag != tagJumpQ {
+					continue
+				}
+				var roots, steps []uint64
+				for _, q := range m.Keys {
+					if r, ok := pr.rootOf[j][q]; ok {
+						roots = append(roots, q, r)
+					} else if pq, ok := pr.parent[j][q]; ok {
+						steps = append(steps, q, pq)
+					}
+				}
+				if len(roots) > 0 {
+					out.Send(m.From, tagJumpRoot, roots)
+				}
+				if len(steps) > 0 {
+					out.Send(m.From, tagJumpStep, steps)
+				}
+			}
+		})
+		unresolved = 0
+		for i, v := range pr.nodes {
+			for _, m := range pr.e.Inbox(v) {
+				switch m.Tag {
+				case tagJumpRoot:
+					for k := 0; k+1 < len(m.Keys); k += 2 {
+						q, r := m.Keys[k], m.Keys[k+1]
+						for _, a := range waiting[i][q] {
+							pr.rootOf[i][a] = r
+							delete(pr.parent[i], a)
+						}
+					}
+				case tagJumpStep:
+					for k := 0; k+1 < len(m.Keys); k += 2 {
+						q, pq := m.Keys[k], m.Keys[k+1]
+						for _, a := range waiting[i][q] {
+							pr.parent[i][a] = pq
+						}
+					}
+				}
+			}
+			unresolved += len(pr.parent[i])
+		}
+	}
+	return nil
+}
+
+// lookups fetches the phase roots every node needs — the endpoint labels
+// of its active edges plus the current labels of its homed vertices — and
+// returns the per-node label → root maps. Direct mode is a query/reply
+// pair; under a combining plan, queries are deduplicated at the block
+// combiner before crossing the block boundary and replies fan back out
+// through it, so a hot label's root crosses each weak cut once per block.
+func (pr *proto) lookups() []map[uint64]uint64 {
+	needs := make([]map[uint64]bool, len(pr.nodes))
+	for i := range pr.nodes {
+		nd := make(map[uint64]bool)
+		for _, ed := range pr.active[i] {
+			nd[ed.a] = true
+			nd[ed.b] = true
+		}
+		for _, l := range pr.labelOf[i] {
+			nd[l] = true
+		}
+		needs[i] = nd
+	}
+
+	if pr.plan == nil {
+		pr.round(func(i int, out *netsim.Outbox) {
+			groups := make(map[int][]uint64)
+			for _, a := range sortedKeys(needs[i]) {
+				groups[pr.home(a)] = append(groups[pr.home(a)], a)
+			}
+			pr.sendByHome(out, tagLookupQ, groups)
+		})
+		pr.replyLookups()
+		return pr.collectRoots(tagLookupA)
+	}
+
+	// A: members push their needs to the block combiner.
+	pr.round(func(i int, out *netsim.Outbox) {
+		if batch := sortedKeys(needs[i]); len(batch) > 0 {
+			out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagLookupUp, batch)
+		}
+	})
+	type memberNeed struct {
+		from   topology.NodeID
+		labels []uint64
+	}
+	perMember := make([][]memberNeed, len(pr.nodes))
+	union := make([]map[uint64]bool, len(pr.nodes))
+	for i, v := range pr.nodes {
+		union[i] = make(map[uint64]bool)
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag != tagLookupUp {
+				continue
+			}
+			perMember[i] = append(perMember[i], memberNeed{from: m.From, labels: m.Keys})
+			for _, a := range m.Keys {
+				union[i][a] = true
+			}
+		}
+	}
+	// B: combiners query the homes once per distinct label.
+	pr.round(func(i int, out *netsim.Outbox) {
+		groups := make(map[int][]uint64)
+		for _, a := range sortedKeys(union[i]) {
+			groups[pr.home(a)] = append(groups[pr.home(a)], a)
+		}
+		pr.sendByHome(out, tagLookupQ, groups)
+	})
+	// C: homes reply to the combiners.
+	pr.replyLookups()
+	rootAt := make([]map[uint64]uint64, len(pr.nodes))
+	for i, v := range pr.nodes {
+		rootAt[i] = make(map[uint64]uint64)
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag != tagLookupA {
+				continue
+			}
+			for k := 0; k+1 < len(m.Keys); k += 2 {
+				rootAt[i][m.Keys[k]] = m.Keys[k+1]
+			}
+		}
+	}
+	// D: combiners fan the answers back out, each member exactly what it
+	// asked for.
+	pr.round(func(i int, out *netsim.Outbox) {
+		for _, mn := range perMember[i] {
+			reply := make([]uint64, 0, 2*len(mn.labels))
+			for _, a := range mn.labels {
+				if r, ok := rootAt[i][a]; ok {
+					reply = append(reply, a, r)
+				}
+			}
+			if len(reply) > 0 {
+				out.Send(mn.from, tagLookupDown, reply)
+			}
+		}
+	})
+	return pr.collectRoots(tagLookupDown)
+}
+
+// replyLookups plans the home side of a lookup round: answer every queried
+// label with its resolved root.
+func (pr *proto) replyLookups() {
+	pr.round(func(j int, out *netsim.Outbox) {
+		for _, m := range pr.e.Inbox(pr.nodes[j]) {
+			if m.Tag != tagLookupQ {
+				continue
+			}
+			reply := make([]uint64, 0, 2*len(m.Keys))
+			for _, a := range m.Keys {
+				if r, ok := pr.rootOf[j][a]; ok {
+					reply = append(reply, a, r)
+				}
+			}
+			if len(reply) > 0 {
+				out.Send(m.From, tagLookupA, reply)
+			}
+		}
+	})
+}
+
+func (pr *proto) collectRoots(tag netsim.Tag) []map[uint64]uint64 {
+	rmap := make([]map[uint64]uint64, len(pr.nodes))
+	for i, v := range pr.nodes {
+		rmap[i] = make(map[uint64]uint64)
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag != tag {
+				continue
+			}
+			for k := 0; k+1 < len(m.Keys); k += 2 {
+				rmap[i][m.Keys[k]] = m.Keys[k+1]
+			}
+		}
+	}
+	return rmap
+}
+
+// relabel rewrites every active edge onto the phase roots, dropping edges
+// that became internal, updates the homed vertex labels, and retires the
+// labels that hooked.
+func (pr *proto) relabel(rmap []map[uint64]uint64) error {
+	for i := range pr.nodes {
+		out := pr.active[i][:0]
+		for _, ed := range pr.active[i] {
+			ra, ok1 := rmap[i][ed.a]
+			rb, ok2 := rmap[i][ed.b]
+			if !ok1 || !ok2 {
+				return fmt.Errorf("graph: node %d missing root for edge label (%d,%d)", i, ed.a, ed.b)
+			}
+			if ra != rb {
+				out = append(out, workEdge{a: ra, b: rb, wu: ed.wu, wv: ed.wv})
+			}
+		}
+		pr.active[i] = out
+		for v, l := range pr.labelOf[i] {
+			r, ok := rmap[i][l]
+			if !ok {
+				return fmt.Errorf("graph: node %d missing root for vertex label %d", i, l)
+			}
+			pr.labelOf[i][v] = r
+		}
+		for _, a := range sortedKeys(pr.alive[i]) {
+			if pr.rootOf[i][a] != a {
+				delete(pr.alive[i], a)
+			}
+		}
+	}
+	return nil
+}
+
+func (pr *proto) totalActive() int {
+	n := 0
+	for i := range pr.active {
+		n += len(pr.active[i])
+	}
+	return n
+}
+
+func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, opts []netsim.Option) (*Result, error) {
+	if err := checkPlacement(tr, edges); err != nil {
+		return nil, err
+	}
+	p := tr.NumCompute()
+	nodes := tr.ComputeNodes()
+	idx := make(map[topology.NodeID]int, p)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+
+	var weights []float64
+	if aware {
+		weights = multijoin.Capacities(tr)
+	} else {
+		weights = make([]float64, p)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0xCC0C), weights)
+	if err != nil {
+		return nil, err
+	}
+
+	strategy := "flat"
+	var plan *blockPlan
+	if aware {
+		strategy = "aware"
+		if plan = combinerBlocks(tr, weights); plan != nil {
+			strategy = "aware+combine"
+		}
+	}
+
+	pr := &proto{
+		t:       tr,
+		e:       netsim.NewEngine(tr, opts...),
+		nodes:   nodes,
+		idx:     idx,
+		home:    chooser.Choose,
+		plan:    plan,
+		witness: witness,
+		active:  make([][]workEdge, p),
+		labelOf: make([]map[uint64]uint64, p),
+		alive:   make([]map[uint64]bool, p),
+		best:    make([]map[uint64]prop, p),
+		parent:  make([]map[uint64]uint64, p),
+		rootOf:  make([]map[uint64]uint64, p),
+	}
+	if witness {
+		pr.forest = make([][]Edge, p)
+	}
+
+	verts := make([]map[uint64]bool, p)
+	for i, frag := range edges {
+		verts[i] = make(map[uint64]bool, 2*len(frag))
+		for _, ed := range frag {
+			verts[i][ed.U] = true
+			verts[i][ed.V] = true
+			if ed.U != ed.V {
+				pr.active[i] = append(pr.active[i], workEdge{a: ed.U, b: ed.V, wu: ed.U, wv: ed.V})
+			}
+		}
+	}
+	for i := range pr.labelOf {
+		pr.labelOf[i] = make(map[uint64]uint64)
+		pr.alive[i] = make(map[uint64]bool)
+	}
+
+	pr.register(verts)
+
+	phases := 0
+	for pr.totalActive() > 0 {
+		if phases == maxPhases {
+			return nil, fmt.Errorf("graph: contraction did not converge after %d phases", maxPhases)
+		}
+		phases++
+		pr.propose()
+		if err := pr.jump(pr.hook()); err != nil {
+			return nil, err
+		}
+		if err := pr.relabel(pr.lookups()); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		PerNode:  make([]map[uint64]uint64, p),
+		Phases:   phases,
+		Strategy: strategy,
+	}
+	for i := range nodes {
+		res.PerNode[i] = pr.labelOf[i]
+		res.Components += int64(len(pr.alive[i]))
+		// The homes partition the vertices, so summing the per-home
+		// fingerprints equals Checksum over the merged labeling.
+		res.Checksum += Checksum(pr.labelOf[i])
+	}
+	if witness {
+		for i := range nodes {
+			res.Forest = append(res.Forest, pr.forest[i]...)
+		}
+	}
+	res.Report = pr.e.Report()
+	return res, nil
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"topompc/internal/dataset"
+	"topompc/internal/lowerbound"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// testTrees is the topology zoo of the graph tests.
+func testTrees(t *testing.T) map[string]*topology.Tree {
+	t.Helper()
+	star, err := topology.UniformStar(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twotier, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cater, err := topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := topology.FatTree(2, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Tree{
+		"star": star, "twotier-skew": twotier, "caterpillar": cater, "fattree": fat,
+	}
+}
+
+// place splits packed edges over p compute nodes round-robin and unpacks
+// them into a graph placement.
+func place(packed []uint64, p int) Placement {
+	pl := make(Placement, p)
+	for i, key := range packed {
+		u, v := dataset.UnpackEdge(key)
+		pl[i%p] = append(pl[i%p], Edge{U: uint64(u), V: uint64(v)})
+	}
+	return pl
+}
+
+// families generates the graph instances exercised by the tests.
+func families(t *testing.T, rng *rand.Rand) map[string][]uint64 {
+	t.Helper()
+	gnp, err := dataset.GNP(rng, 300, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := dataset.PowerLaw(rng, 300, 900, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := dataset.Grid(17, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := dataset.BridgeOfCliques(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]uint64{"gnp": gnp, "powerlaw": pl, "grid": grid, "bridge": bridge}
+}
+
+// TestCCMatchesReference checks every variant against the union-find
+// reference on every (topology, family) combination: component count,
+// canonical min-labels for every vertex, checksum, and (for the forest
+// variant) a valid spanning forest.
+func TestCCMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fams := families(t, rng)
+	for tname, tree := range testTrees(t) {
+		for fname, packed := range fams {
+			pl := place(packed, tree.NumCompute())
+			ref := Reference(pl)
+			for vname, run := range map[string]func(*topology.Tree, Placement, uint64, ...netsim.Option) (*Result, error){
+				"aware": CC, "flat": CCFlat, "forest": SpanningForest,
+			} {
+				t.Run(fmt.Sprintf("%s/%s/%s", tname, fname, vname), func(t *testing.T) {
+					res, err := run(tree, pl, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Components != ref.Count {
+						t.Fatalf("components = %d, want %d", res.Components, ref.Count)
+					}
+					if res.Checksum != ref.Checksum {
+						t.Fatalf("checksum = %x, want %x", res.Checksum, ref.Checksum)
+					}
+					labels := res.Labels()
+					if len(labels) != len(ref.Labels) {
+						t.Fatalf("labeled %d vertices, want %d", len(labels), len(ref.Labels))
+					}
+					for v, l := range ref.Labels {
+						if labels[v] != l {
+							t.Fatalf("vertex %d labeled %d, want %d", v, labels[v], l)
+						}
+					}
+					if vname == "forest" {
+						if err := VerifyForest(ref, res.Forest); err != nil {
+							t.Fatal(err)
+						}
+					}
+					// Phases must stay logarithmic in the vertex count even
+					// on the high-diameter grid.
+					if maxP := 2 + int(math.Ceil(math.Log2(float64(len(ref.Labels))))); res.Phases > maxP {
+						t.Errorf("%d phases for %d vertices, want <= %d", res.Phases, len(ref.Labels), maxP)
+					}
+					// Measured cost must dominate the per-cut information
+					// bound.
+					lb := lowerbound.Connectivity(tree, ComponentSpread(tree, pl))
+					if cost := res.Report.TotalCost(); cost < lb.Value*(1-1e-9) {
+						t.Errorf("cost %.3f below connectivity bound %.3f", cost, lb.Value)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCCAwareBeatsFlatOnBridgeOfCliques pins the headline claim: on the
+// adversarial bridge-of-cliques input over skewed trees, the aware
+// protocol's cost must not exceed the flat baseline's.
+func TestCCAwareBeatsFlatOnBridgeOfCliques(t *testing.T) {
+	trees := testTrees(t)
+	packed, err := dataset.BridgeOfCliques(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tname := range []string{"twotier-skew", "caterpillar"} {
+		t.Run(tname, func(t *testing.T) {
+			tree := trees[tname]
+			pl := place(packed, tree.NumCompute())
+			aware, err := CC(tree, pl, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := CCFlat(tree, pl, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ac, fc := aware.Report.TotalCost(), flat.Report.TotalCost(); ac > fc {
+				t.Errorf("aware cost %.2f exceeds flat cost %.2f", ac, fc)
+			} else {
+				t.Logf("aware %.2f vs flat %.2f (win %.2fx)", ac, fc, fc/ac)
+			}
+		})
+	}
+}
+
+// TestCCDeterministicAcrossWorkers compares the full report and labeling
+// between a serial and a parallel run.
+func TestCCDeterministicAcrossWorkers(t *testing.T) {
+	tree := testTrees(t)["twotier-skew"]
+	rng := rand.New(rand.NewSource(9))
+	packed, err := dataset.PowerLaw(rng, 400, 1200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := place(packed, tree.NumCompute())
+	run := func(workers int) *Result {
+		res, err := CC(tree, pl, 42, netsim.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.Checksum != b.Checksum || a.Components != b.Components || a.Phases != b.Phases {
+		t.Fatalf("result diverged: %d/%x/%d vs %d/%x/%d",
+			a.Components, a.Checksum, a.Phases, b.Components, b.Checksum, b.Phases)
+	}
+	ra, rb := a.Report, b.Report
+	if ra.NumRounds() != rb.NumRounds() {
+		t.Fatalf("round counts diverged: %d vs %d", ra.NumRounds(), rb.NumRounds())
+	}
+	for i := range ra.Rounds {
+		if ra.Rounds[i].Cost != rb.Rounds[i].Cost || ra.Rounds[i].Elements != rb.Rounds[i].Elements {
+			t.Fatalf("round %d diverged: cost %v/%v elements %d/%d", i,
+				ra.Rounds[i].Cost, rb.Rounds[i].Cost, ra.Rounds[i].Elements, rb.Rounds[i].Elements)
+		}
+	}
+}
+
+// TestCCEdgeCases covers degenerate inputs: empty graphs, self-loops only,
+// a single giant clique, and parallel edges.
+func TestCCEdgeCases(t *testing.T) {
+	tree := testTrees(t)["star"]
+	p := tree.NumCompute()
+	cases := map[string]Placement{
+		"empty":     make(Placement, p),
+		"selfloops": place([]uint64{dataset.PackEdge(1, 1), dataset.PackEdge(2, 2)}, p),
+		"parallel":  place([]uint64{dataset.PackEdge(1, 2), dataset.PackEdge(2, 1), dataset.PackEdge(1, 2)}, p),
+		"pair":      place([]uint64{dataset.PackEdge(7, 3)}, p),
+	}
+	for name, pl := range cases {
+		t.Run(name, func(t *testing.T) {
+			ref := Reference(pl)
+			for vname, run := range map[string]func(*topology.Tree, Placement, uint64, ...netsim.Option) (*Result, error){
+				"aware": CC, "flat": CCFlat, "forest": SpanningForest,
+			} {
+				res, err := run(tree, pl, 1)
+				if err != nil {
+					t.Fatalf("%s: %v", vname, err)
+				}
+				if res.Components != ref.Count || res.Checksum != ref.Checksum {
+					t.Fatalf("%s: %d components (%x), want %d (%x)",
+						vname, res.Components, res.Checksum, ref.Count, ref.Checksum)
+				}
+				if vname == "forest" {
+					if err := VerifyForest(ref, res.Forest); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCombinerBlocks checks the combining plan on the canonical shapes.
+func TestCombinerBlocks(t *testing.T) {
+	trees := testTrees(t)
+	uniform := func(n int) []float64 {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	// Uniform star: no weak edge, no plan.
+	if plan := combinerBlocks(trees["star"], uniform(trees["star"].NumCompute())); plan != nil {
+		t.Errorf("star: unexpected combining plan %+v", plan)
+	}
+	// Skewed two-tier: the weak uplink splits the racks into two blocks.
+	plan := combinerBlocks(trees["twotier-skew"], uniform(trees["twotier-skew"].NumCompute()))
+	if plan == nil {
+		t.Fatal("twotier-skew: expected a combining plan")
+	}
+	if len(plan.blocks) != 2 {
+		t.Fatalf("twotier-skew: %d blocks, want 2 (%v)", len(plan.blocks), plan.blocks)
+	}
+	for i, b := range plan.blockOf {
+		want := 0
+		if i >= 4 {
+			want = 1
+		}
+		if b != want {
+			t.Errorf("compute %d in block %d, want %d", i, b, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"topompc/internal/hashing"
+	"topompc/internal/topology"
+)
+
+// Ref is the centralized union-find reference answer a protocol run is
+// verified against.
+type Ref struct {
+	// Count is the number of connected components.
+	Count int64
+	// Labels maps every vertex to its canonical component label (the
+	// minimum vertex id of the component).
+	Labels map[uint64]uint64
+	// Checksum fingerprints the labeling order-independently.
+	Checksum uint64
+}
+
+// unionFind is a plain path-halving union-by-size forest over arbitrary
+// uint64 vertex ids.
+type unionFind struct {
+	parent map[uint64]uint64
+	size   map[uint64]int64
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[uint64]uint64), size: make(map[uint64]int64)}
+}
+
+func (u *unionFind) add(v uint64) {
+	if _, ok := u.parent[v]; !ok {
+		u.parent[v] = v
+		u.size[v] = 1
+	}
+}
+
+func (u *unionFind) find(v uint64) uint64 {
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
+	}
+	return v
+}
+
+// union merges the components of a and b; it reports false when they were
+// already connected.
+func (u *unionFind) union(a, b uint64) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// Checksum fingerprints a vertex → label map order-independently; the
+// protocols and the reference compute the same quantity so any labeling
+// divergence is caught without comparing maps entry by entry.
+func Checksum(labels map[uint64]uint64) uint64 {
+	var sum uint64
+	for v, l := range labels {
+		sum += hashing.Mix64(v + hashing.Mix64(l))
+	}
+	return sum
+}
+
+// Reference computes components, canonical min-labels, and the labeling
+// checksum centrally with union-find.
+func Reference(edges Placement) *Ref {
+	u := newUnionFind()
+	for _, frag := range edges {
+		for _, e := range frag {
+			u.add(e.U)
+			u.add(e.V)
+			if e.U != e.V {
+				u.union(e.U, e.V)
+			}
+		}
+	}
+	// Canonicalize: the representative of each component becomes its
+	// minimum vertex.
+	minOf := make(map[uint64]uint64)
+	for v := range u.parent {
+		r := u.find(v)
+		if m, ok := minOf[r]; !ok || v < m {
+			minOf[r] = v
+		}
+	}
+	ref := &Ref{Count: int64(len(minOf)), Labels: make(map[uint64]uint64, len(u.parent))}
+	for v := range u.parent {
+		ref.Labels[v] = minOf[u.find(v)]
+	}
+	ref.Checksum = Checksum(ref.Labels)
+	return ref
+}
+
+// VerifyForest checks that forest is a spanning forest of the input graph:
+// every forest edge is within a reference component, no forest edge closes
+// a cycle, and the forest merges the vertices into exactly the reference
+// components (which, with |forest| = |V| − Count implied by the union
+// count, makes it spanning).
+func VerifyForest(ref *Ref, forest []Edge) error {
+	u := newUnionFind()
+	for v := range ref.Labels {
+		u.add(v)
+	}
+	for _, e := range forest {
+		lu, ok1 := ref.Labels[e.U]
+		lv, ok2 := ref.Labels[e.V]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("graph: forest edge (%d,%d) references an unknown vertex", e.U, e.V)
+		}
+		if lu != lv {
+			return fmt.Errorf("graph: forest edge (%d,%d) crosses components %d and %d", e.U, e.V, lu, lv)
+		}
+		if !u.union(e.U, e.V) {
+			return fmt.Errorf("graph: forest edge (%d,%d) closes a cycle", e.U, e.V)
+		}
+	}
+	want := int64(len(ref.Labels)) - ref.Count
+	if got := int64(len(forest)); got != want {
+		return fmt.Errorf("graph: forest has %d edges, want |V|-components = %d", got, want)
+	}
+	return nil
+}
+
+// ComponentSpread reports, for every connected component, the compute
+// nodes holding at least one of its input edges (each endpoint counts as
+// presence). The node lists feed lowerbound.Connectivity, which charges a
+// component's Steiner tree over its nodes.
+func ComponentSpread(t *topology.Tree, edges Placement) [][]topology.NodeID {
+	ref := Reference(edges)
+	nodes := t.ComputeNodes()
+	present := make(map[uint64]map[topology.NodeID]bool)
+	for i, frag := range edges {
+		v := nodes[i]
+		for _, e := range frag {
+			for _, root := range [2]uint64{ref.Labels[e.U], ref.Labels[e.V]} {
+				set := present[root]
+				if set == nil {
+					set = make(map[topology.NodeID]bool)
+					present[root] = set
+				}
+				set[v] = true
+			}
+		}
+	}
+	out := make([][]topology.NodeID, 0, len(present))
+	for _, root := range sortedKeys(present) {
+		set := present[root]
+		list := make([]topology.NodeID, 0, len(set))
+		for v := range set {
+			list = append(list, v)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out = append(out, list)
+	}
+	return out
+}

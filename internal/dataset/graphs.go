@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph generators for the connectivity workloads. Edges are packed as one
+// key per edge, (u << 32) | v, the same Tuple2 packing the registry uses,
+// so graph instances flow through Placement splitting and the task-input
+// machinery unchanged. Vertex ids must fit in 32 bits.
+
+// PackEdge packs an undirected edge into one registry key.
+func PackEdge(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// UnpackEdge splits a packed edge key into its endpoints.
+func UnpackEdge(key uint64) (u, v uint32) { return uint32(key >> 32), uint32(key) }
+
+// GNP samples an Erdős–Rényi G(n, p) graph: every unordered vertex pair is
+// an edge independently with probability p. Sparse instances are sampled
+// with geometric gap skipping, so the cost is proportional to the number
+// of edges produced, not to n².
+func GNP(rng *rand.Rand, n int, p float64) ([]uint64, error) {
+	if n < 0 || n > math.MaxUint32 {
+		return nil, fmt.Errorf("dataset: GNP vertex count %d out of range", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("dataset: GNP probability %v out of range", p)
+	}
+	var edges []uint64
+	if n < 2 || p == 0 {
+		return edges, nil
+	}
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, PackEdge(uint32(u), uint32(v)))
+			}
+		}
+		return edges, nil
+	}
+	// Enumerate the pairs row by row — (0,1), (0,2), …, (n-2,n-1) — and
+	// jump geometrically between successes; the position advances
+	// monotonically, so the whole sweep is O(E + n).
+	logQ := math.Log1p(-p)
+	u, c := 0, -1 // current position: pair (u, u+1+c)
+	for {
+		gap := int64(math.Floor(math.Log(1-rng.Float64())/logQ)) + 1
+		if gap <= 0 { // float underflow on tiny 1-rng values
+			gap = 1
+		}
+		cc := int64(c) + gap
+		for u < n-1 && cc >= int64(n-1-u) {
+			cc -= int64(n - 1 - u)
+			u++
+		}
+		if u >= n-1 {
+			return edges, nil
+		}
+		c = int(cc)
+		edges = append(edges, PackEdge(uint32(u), uint32(u+1+c)))
+	}
+}
+
+// PowerLaw samples m edges whose endpoints follow a power-law popularity
+// skew: endpoint ranks are drawn as floor(n·U^alpha) with alpha > 1, so
+// low-id vertices act as hubs. Self-loops are rerolled; parallel edges are
+// kept (the connectivity protocols accept multigraphs).
+func PowerLaw(rng *rand.Rand, n, m int, alpha float64) ([]uint64, error) {
+	if n < 2 || n > math.MaxUint32 {
+		return nil, fmt.Errorf("dataset: PowerLaw vertex count %d out of range", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("dataset: PowerLaw edge count %d negative", m)
+	}
+	if alpha < 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("dataset: PowerLaw skew %v must be >= 1", alpha)
+	}
+	pick := func() uint32 {
+		v := int(math.Floor(float64(n) * math.Pow(rng.Float64(), alpha)))
+		if v >= n {
+			v = n - 1
+		}
+		return uint32(v)
+	}
+	edges := make([]uint64, 0, m)
+	for len(edges) < m {
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		edges = append(edges, PackEdge(u, v))
+	}
+	return edges, nil
+}
+
+// Grid builds the rows × cols lattice graph (4-neighborhood), the
+// high-diameter case that stresses the contraction phase count.
+func Grid(rows, cols int) ([]uint64, error) {
+	if rows < 1 || cols < 1 || int64(rows)*int64(cols) > math.MaxUint32 {
+		return nil, fmt.Errorf("dataset: grid %dx%d out of range", rows, cols)
+	}
+	var edges []uint64
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, PackEdge(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				edges = append(edges, PackEdge(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return edges, nil
+}
+
+// BridgeOfCliques chains k cliques of the given size with single bridge
+// edges: clique i spans vertices [i·size, (i+1)·size) and bridges connect
+// consecutive cliques' first vertices. The adversarial case for weak cuts:
+// every clique's dense internal label traffic references the same hot
+// labels from every fragment, so topology-oblivious delivery drags
+// duplicates across weak tree edges degree-many times.
+func BridgeOfCliques(k, size int) ([]uint64, error) {
+	if k < 1 || size < 1 || int64(k)*int64(size) > math.MaxUint32 {
+		return nil, fmt.Errorf("dataset: bridge-of-cliques %d x %d out of range", k, size)
+	}
+	var edges []uint64
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, PackEdge(uint32(base+i), uint32(base+j)))
+			}
+		}
+		if c+1 < k {
+			edges = append(edges, PackEdge(uint32(base), uint32(base+size)))
+		}
+	}
+	return edges, nil
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackEdgeRoundTrip(t *testing.T) {
+	for _, e := range [][2]uint32{{0, 0}, {1, 2}, {1 << 31, 7}, {0xffffffff, 0xfffffffe}} {
+		u, v := UnpackEdge(PackEdge(e[0], e[1]))
+		if u != e[0] || v != e[1] {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", e[0], e[1], u, v)
+		}
+	}
+}
+
+func TestGNPEdgeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, p := 60, 0.15
+	edges, err := GNP(rng, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for _, key := range edges {
+		u, v := UnpackEdge(key)
+		if u >= v || int(v) >= n {
+			t.Fatalf("invalid edge (%d,%d)", u, v)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+	}
+	// Expected m = p·n(n-1)/2 = 265.5; allow a generous band.
+	if len(edges) < 150 || len(edges) > 400 {
+		t.Errorf("got %d edges, expected around 265", len(edges))
+	}
+	// Degenerate parameters.
+	if edges, err := GNP(rng, 1, 0.5); err != nil || len(edges) != 0 {
+		t.Errorf("GNP(1) = %v, %v", edges, err)
+	}
+	if full, err := GNP(rng, 5, 1); err != nil || len(full) != 10 {
+		t.Errorf("GNP(5, 1) has %d edges (err %v), want 10", len(full), err)
+	}
+	if _, err := GNP(rng, 5, 1.5); err == nil {
+		t.Error("GNP accepted p > 1")
+	}
+	if _, err := GNP(rng, -1, 0.5); err == nil {
+		t.Error("GNP accepted negative n")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 200, 4000
+	edges, err := PowerLaw(rng, n, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != m {
+		t.Fatalf("got %d edges, want %d", len(edges), m)
+	}
+	deg := make([]int, n)
+	for _, key := range edges {
+		u, v := UnpackEdge(key)
+		if u == v || int(u) >= n || int(v) >= n {
+			t.Fatalf("invalid edge (%d,%d)", u, v)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	// Hubs: the first decile of vertices must take far more than its share.
+	head := 0
+	for _, d := range deg[:n/10] {
+		head += d
+	}
+	if head < 2*m/2/5*2 { // > 40% of endpoint slots for the top 10%
+		t.Errorf("top decile holds %d of %d endpoint slots; expected a power-law head", head, 2*m)
+	}
+	if _, err := PowerLaw(rng, 1, 5, 2); err == nil {
+		t.Error("PowerLaw accepted n < 2")
+	}
+	if _, err := PowerLaw(rng, 10, 5, 0.5); err == nil {
+		t.Error("PowerLaw accepted alpha < 1")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	edges, err := Grid(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows·(cols-1) horizontal + (rows-1)·cols vertical.
+	if want := 4*4 + 3*5; len(edges) != want {
+		t.Fatalf("got %d edges, want %d", len(edges), want)
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Error("Grid accepted zero rows")
+	}
+}
+
+func TestBridgeOfCliquesShape(t *testing.T) {
+	k, size := 3, 5
+	edges, err := BridgeOfCliques(k, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := k*size*(size-1)/2 + (k - 1); len(edges) != want {
+		t.Fatalf("got %d edges, want %d", len(edges), want)
+	}
+	// All one component: k cliques joined by k-1 bridges.
+	parent := make(map[uint32]uint32)
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	for _, key := range edges {
+		u, v := UnpackEdge(key)
+		parent[find(u)] = find(v)
+	}
+	roots := make(map[uint32]bool)
+	for x := range parent {
+		roots[find(x)] = true
+	}
+	if len(roots) != 1 {
+		t.Errorf("bridge-of-cliques has %d components, want 1", len(roots))
+	}
+	if _, err := BridgeOfCliques(0, 5); err == nil {
+		t.Error("BridgeOfCliques accepted zero cliques")
+	}
+}

@@ -1,0 +1,39 @@
+package lowerbound
+
+import (
+	"topompc/internal/topology"
+)
+
+// Connectivity is a per-cut information bound for graph connectivity in
+// the tuple-transfer model (companion to Multijoin; no
+// communication-complexity theorem is claimed).
+//
+// occupants[c] lists the compute nodes holding input edges of connected
+// component c. Fix a tree edge e. Every component with occupants on both
+// sides of the cut forces at least one element across e: the two sides
+// must agree on the component's identity (its canonical label, or even
+// just the fact that their local pieces are connected), and the side not
+// holding the deciding piece cannot learn it silently. A component spans
+// the cut at e exactly when e lies on a path between two of its occupant
+// nodes — that is, when e belongs to the Steiner tree of occupants[c] —
+// so the bound is
+//
+//	CLB = max_e |{c : e ∈ Steiner(occupants[c])}| / w_e.
+//
+// The per-edge counts are accumulated with the same tree-difference
+// machinery the exchange engine uses for multicast charging
+// (topology.PathAccumulator.AddSteiner), one unit per component.
+func Connectivity(t *topology.Tree, occupants [][]topology.NodeID) Bound {
+	acc := topology.NewPathAccumulator(t)
+	for _, nodes := range occupants {
+		if len(nodes) < 2 {
+			continue
+		}
+		acc.AddSteiner(nodes, 1)
+	}
+	spanning := make([]int64, t.NumEdges())
+	acc.FlushInto(spanning)
+	return maxOverEdges(t, func(e topology.EdgeID) float64 {
+		return float64(spanning[e]) / t.Bandwidth(e)
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"topompc"
 	"topompc/internal/cliutil"
+	"topompc/internal/dataset"
 	"topompc/internal/topology"
 )
 
@@ -26,6 +27,7 @@ var awareBaselinePairs = [][2]string{
 	{"aggregate", "aggregate-baseline"},
 	{"triangle", "triangle-flat"},
 	{"starjoin", "starjoin-flat"},
+	{"cc", "cc-flat"},
 }
 
 // awareTolerance bounds how much worse than its baseline an aware variant
@@ -123,6 +125,49 @@ func TestPropertyAwareWithinToleranceOfBaseline(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPropertyGraphAwareBeatsFlatOnBridges pins the graph subsystem's
+// headline property: on the bridge-of-cliques input — the adversarial case
+// for weak cuts — the topology-aware connected-components protocol must
+// not cost more than the flat baseline on the skewed fixture trees, for
+// both uniform and skewed edge placements.
+func TestPropertyGraphAwareBeatsFlatOnBridges(t *testing.T) {
+	packed, err := dataset.BridgeOfCliques(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []string{"twotier-skew", "caterpillar"} {
+		for _, place := range []string{"uniform", "zipf"} {
+			t.Run(fmt.Sprintf("%s/%s", topo, place), func(t *testing.T) {
+				c := fixtureCluster(t, topo)
+				seed := fixtureSeed("cc", topo, place, "bridge")
+				edges := append([]uint64(nil), packed...)
+				rng := rand.New(rand.NewSource(int64(seed)))
+				dataset.Shuffle(rng, edges)
+				data, err := cliutil.Placer(place, int64(seed))(rng, edges, c.NumNodes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := topompc.TaskInput{Data: data, Seed: seed}
+				aware, err := c.RunTask("cc", in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flat, err := c.RunTask("cc-flat", in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if aware.Cost.Cost > flat.Cost.Cost {
+					t.Errorf("aware cost %.2f exceeds flat cost %.2f", aware.Cost.Cost, flat.Cost.Cost)
+				}
+				if aware.Cost.Cost < aware.Cost.LowerBound*(1-1e-9) {
+					t.Errorf("aware cost %.2f below connectivity bound %.2f",
+						aware.Cost.Cost, aware.Cost.LowerBound)
+				}
+			})
+		}
 	}
 }
 

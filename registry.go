@@ -41,6 +41,9 @@ const (
 	TaskSingle
 	// TaskMulti tasks consume TaskInput.Rels.
 	TaskMulti
+	// TaskGraph tasks consume TaskInput.Data as packed undirected graph
+	// edges, one edge per key encoded as EncodeTuple2({u, v}).
+	TaskGraph
 )
 
 // EncodeTuple2 packs a Tuple2 into one registry key; attributes must fit
@@ -320,6 +323,42 @@ func init() {
 			return multijoinTaskResult("rows", in, res)
 		},
 	})
+	RegisterTask(Task{
+		Name:        "cc",
+		Description: "connected components with capacity-homed labels and per-cut combining",
+		Kind:        TaskGraph,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.ConnectedComponents(decodeGraph(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graphTaskResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "cc-flat",
+		Description: "connected components with uniform homes and direct delivery (flat baseline)",
+		Kind:        TaskGraph,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.ConnectedComponentsBaseline(decodeGraph(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graphTaskResult(in, res)
+		},
+	})
+	RegisterTask(Task{
+		Name:        "spanforest",
+		Description: "spanning forest via witness-tracked label contraction",
+		Kind:        TaskGraph,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.SpanningForest(decodeGraph(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graphTaskResult(in, res)
+		},
+	})
 }
 
 func intersectResult(in TaskInput, res *IntersectResult) (*TaskResult, error) {
@@ -409,6 +448,39 @@ func aggregateResult(in TaskInput, res *AggregateResult) (*TaskResult, error) {
 	}
 	return &TaskResult{
 		Summary: fmt.Sprintf("records=%d groups=%d", sizes(in.Data), len(want)),
+		Cost:    res.Cost,
+		Report:  res.Report,
+	}, nil
+}
+
+// decodeGraph unpacks Tuple2-encoded edge keys into graph edges.
+func decodeGraph(frags [][]uint64) [][]GraphEdge {
+	out := make([][]GraphEdge, len(frags))
+	for i, frag := range frags {
+		out[i] = make([]GraphEdge, len(frag))
+		for j, key := range frag {
+			t := DecodeTuple2(key)
+			out[i][j] = GraphEdge{U: t.A, V: t.B}
+		}
+	}
+	return out
+}
+
+// graphTaskResult summarizes a connectivity task. The Cluster methods have
+// already verified the labeling (and forest) against the union-find
+// reference.
+func graphTaskResult(in TaskInput, res *ComponentsResult) (*TaskResult, error) {
+	var verts int
+	for _, m := range res.PerNode {
+		verts += len(m)
+	}
+	summary := fmt.Sprintf("V=%d E=%d components=%d phases=%d strategy=%s",
+		verts, sizes(in.Data), res.Components, res.Phases, res.Strategy)
+	if res.Forest != nil {
+		summary += fmt.Sprintf(" forest=%d", len(res.Forest))
+	}
+	return &TaskResult{
+		Summary: summary,
 		Cost:    res.Cost,
 		Report:  res.Report,
 	}, nil

@@ -49,6 +49,16 @@ func testInput(t *testing.T, c *Cluster, spec Task, n int) TaskInput {
 		if in.Data, err = dataset.SplitUniform(keys, p); err != nil {
 			t.Fatal(err)
 		}
+	case TaskGraph:
+		verts := max(4, n/3)
+		pairs := float64(verts) * float64(verts-1) / 2
+		edges, err := dataset.GNP(rng, verts, min(1, float64(n)/pairs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Data, err = dataset.SplitUniform(edges, p); err != nil {
+			t.Fatal(err)
+		}
 	case TaskMulti:
 		k := spec.NumRelations
 		if k == 0 {
