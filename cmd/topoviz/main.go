@@ -1,8 +1,9 @@
 // Command topoviz inspects the structural constructions of the paper for a
 // topology and load vector: the tree itself, the directed tree G†
 // (Figure 3), the minimum-Σw² minimal cover (Theorem 4), the α/β edge
-// classification and balanced partition (Figure 2), and the square packing
-// of the cartesian product (Figure 4).
+// classification and balanced partition (Figure 2), the weak-cut combining
+// blocks and capacity weights of the placement engine, and the square
+// packing of the cartesian product (Figure 4).
 //
 // Usage:
 //
@@ -11,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,20 +23,35 @@ import (
 	"topompc/internal/cliutil"
 	"topompc/internal/core/cartesian"
 	"topompc/internal/core/intersect"
+	"topompc/internal/core/place"
 	"topompc/internal/topology"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with the given arguments and streams; it
+// returns the process exit code. Split from main so the flag handling and
+// output are testable, matching cmd/toposim and cmd/topobench.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topo     = flag.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
-		loadsCSV = flag.String("loads", "", "comma-separated N_v per compute node (default: 100 each)")
-		sizeR    = flag.Int64("sizeR", 0, "|R| for the α/β classification (default N/4)")
+		topo     = fs.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		loadsCSV = fs.String("loads", "", "comma-separated N_v per compute node (default: 100 each)")
+		sizeR    = fs.Int64("sizeR", 0, "|R| for the α/β classification (default N/4)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	tree, err := cliutil.ParseTopo(*topo)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 
 	sizes := make([]int64, tree.NumCompute())
@@ -44,18 +62,18 @@ func main() {
 	} else {
 		parts := strings.Split(*loadsCSV, ",")
 		if len(parts) != len(sizes) {
-			fail(fmt.Errorf("%d loads for %d compute nodes", len(parts), len(sizes)))
+			return fail(stderr, fmt.Errorf("%d loads for %d compute nodes", len(parts), len(sizes)))
 		}
 		for i, s := range parts {
 			sizes[i], err = strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 			if err != nil {
-				fail(err)
+				return fail(stderr, err)
 			}
 		}
 	}
 	loads, err := tree.ComputeLoads(sizes)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	total := loads.Total()
 	r := *sizeR
@@ -63,26 +81,26 @@ func main() {
 		r = total / 4
 	}
 
-	fmt.Println("== topology ==")
-	fmt.Print(tree)
+	fmt.Fprintln(stdout, "== topology ==")
+	fmt.Fprint(stdout, tree)
 
-	fmt.Println("\n== G† (Figure 3 / Lemma 4) ==")
+	fmt.Fprintln(stdout, "\n== G† (Figure 3 / Lemma 4) ==")
 	d := topology.Orient(tree, loads)
-	fmt.Print(d.StringDirected())
-	fmt.Printf("root is compute node: %v\n", d.RootIsCompute())
+	fmt.Fprint(stdout, d.StringDirected())
+	fmt.Fprintf(stdout, "root is compute node: %v\n", d.RootIsCompute())
 
 	if cover, wTilde, ok := d.MinCoverSumSq(); ok {
 		names := make([]string, len(cover))
 		for i, v := range cover {
 			names[i] = tree.Name(v)
 		}
-		fmt.Printf("\n== minimum-Σw² minimal cover (Theorem 4) ==\n{%s}  w̃ = %.3f  cover LB = N/w̃ = %.3f\n",
+		fmt.Fprintf(stdout, "\n== minimum-Σw² minimal cover (Theorem 4) ==\n{%s}  w̃ = %.3f  cover LB = N/w̃ = %.3f\n",
 			strings.Join(names, ", "), wTilde, float64(total)/wTilde)
 	} else {
-		fmt.Println("\nTheorem 4 does not apply (G† rooted at a compute node); gather is optimal")
+		fmt.Fprintln(stdout, "\nTheorem 4 does not apply (G† rooted at a compute node); gather is optimal")
 	}
 
-	fmt.Printf("\n== α/β edges for |R| = %d (Figure 2) ==\n", r)
+	fmt.Fprintf(stdout, "\n== α/β edges for |R| = %d (Figure 2) ==\n", r)
 	classes := intersect.ClassifyEdges(tree, loads, r)
 	cuts := tree.Cuts(loads)
 	for e := topology.EdgeID(0); int(e) < tree.NumEdges(); e++ {
@@ -91,14 +109,14 @@ func main() {
 		if classes[e] == intersect.Beta {
 			cls = "β"
 		}
-		fmt.Printf("  %s—%s: %s (cut min %d)\n", tree.Name(a), tree.Name(b), cls, cuts[e].Min())
+		fmt.Fprintf(stdout, "  %s—%s: %s (cut min %d)\n", tree.Name(a), tree.Name(b), cls, cuts[e].Min())
 	}
 
 	blocks, err := intersect.BalancedPartition(tree, loads, r)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Println("\n== balanced partition (Algorithm 3 / Definition 1) ==")
+	fmt.Fprintln(stdout, "\n== balanced partition (Algorithm 3 / Definition 1) ==")
 	for i, blk := range blocks {
 		names := make([]string, len(blk))
 		var w int64
@@ -106,15 +124,41 @@ func main() {
 			names[j] = tree.Name(v)
 			w += loads[v]
 		}
-		fmt.Printf("  block %d: {%s}  ΣN_v = %d\n", i+1, strings.Join(names, ", "), w)
+		fmt.Fprintf(stdout, "  block %d: {%s}  ΣN_v = %d\n", i+1, strings.Join(names, ", "), w)
 	}
 	if err := intersect.CheckBalanced(tree, loads, r, blocks); err != nil {
-		fmt.Printf("  Definition 1 check: VIOLATED: %v\n", err)
+		fmt.Fprintf(stdout, "  Definition 1 check: VIOLATED: %v\n", err)
 	} else {
-		fmt.Println("  Definition 1 check: all properties hold")
+		fmt.Fprintln(stdout, "  Definition 1 check: all properties hold")
 	}
 
-	fmt.Println("\n== cartesian square packing (Figure 4 / Algorithm 5) ==")
+	fmt.Fprintln(stdout, "\n== placement engine (internal/core/place) ==")
+	weights := place.Capacities(tree)
+	nodes := tree.ComputeNodes()
+	fmt.Fprintln(stdout, "  capacity weights:")
+	for i, v := range nodes {
+		fmt.Fprintf(stdout, "    %s: %.3f\n", tree.Name(v), weights[i])
+	}
+	if plan := place.CombinerBlocks(tree, weights); plan != nil {
+		minority := plan.MinorityBlocks(weights)
+		fmt.Fprintln(stdout, "  weak-cut combining blocks:")
+		for b, members := range plan.Blocks {
+			names := make([]string, len(members))
+			for j, i := range members {
+				names[j] = tree.Name(nodes[i])
+			}
+			note := ""
+			if minority[b] {
+				note = "  (minority: combining pays)"
+			}
+			fmt.Fprintf(stdout, "    block %d: {%s}  combiner %s%s\n",
+				b+1, strings.Join(names, ", "), tree.Name(nodes[plan.Combiner[b]]), note)
+		}
+	} else {
+		fmt.Fprintln(stdout, "  no weak-cut combining plan (no weak edge, or all blocks singletons)")
+	}
+
+	fmt.Fprintln(stdout, "\n== cartesian square packing (Figure 4 / Algorithm 5) ==")
 	sides := make([]int64, 0, tree.NumCompute())
 	owners := make([]topology.NodeID, 0, tree.NumCompute())
 	for _, v := range tree.ComputeNodes() {
@@ -129,15 +173,16 @@ func main() {
 	}
 	placed, covered, err := cartesian.PackLemma5(sides, owners)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("  fully covered square: %d×%d\n", covered, covered)
+	fmt.Fprintf(stdout, "  fully covered square: %d×%d\n", covered, covered)
 	for _, p := range placed {
-		fmt.Printf("  %s: %d×%d at (%d, %d)\n", tree.Name(p.Node), p.Side, p.Side, p.X, p.Y)
+		fmt.Fprintf(stdout, "  %s: %d×%d at (%d, %d)\n", tree.Name(p.Node), p.Side, p.Side, p.X, p.Y)
 	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "topoviz: %v\n", err)
+	return 1
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllSections(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "twotier"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, section := range []string{
+		"== topology ==",
+		"== G† (Figure 3 / Lemma 4) ==",
+		"== α/β edges",
+		"== balanced partition (Algorithm 3 / Definition 1) ==",
+		"== placement engine (internal/core/place) ==",
+		"== cartesian square packing (Figure 4 / Algorithm 5) ==",
+	} {
+		if !strings.Contains(out.String(), section) {
+			t.Errorf("output missing section %q", section)
+		}
+	}
+	if !strings.Contains(out.String(), "capacity weights:") {
+		t.Error("output missing capacity weights")
+	}
+}
+
+func TestRunCombiningBlocksOnSkewedTopo(t *testing.T) {
+	// The default twotier has uniform uplinks; the caterpillar fixture has
+	// weak spine ends and must print an actual combining plan.
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "caterpillar"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "weak-cut combining blocks:") {
+		t.Errorf("caterpillar output missing the combining-block report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "combiner") {
+		t.Errorf("block report should name each block's combiner:\n%s", out.String())
+	}
+}
+
+func TestUnknownTopology(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "@no-such-file.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "topoviz:") {
+		t.Errorf("stderr should carry the command prefix: %s", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+}
+
+func TestLoadsMismatch(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "twotier", "-loads", "1,2,3"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "compute nodes") {
+		t.Errorf("stderr should explain the mismatch: %s", errOut.String())
+	}
+}
+
+func TestBadLoadValue(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "star:2x1", "-loads", "10,abc"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

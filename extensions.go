@@ -46,6 +46,27 @@ func (c *Cluster) AggregateBaseline(data [][]GroupValue, seed uint64) (*Aggregat
 	})
 }
 
+// AggregateAware computes per-group totals with combiner-tree aggregation:
+// partial aggregates merge once per weak-cut block (place.CombinerBlocks)
+// before anything crosses a weak link, then the merged block partials are
+// hashed to capacity-weighted group homes. At most two rounds; degrades to
+// one round of capacity-weighted hashing when the topology has no weak
+// cut.
+func (c *Cluster) AggregateAware(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
+	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
+		return aggregate.CombinerTree(c.t, p, seed, c.exec.netsimOpts()...)
+	})
+}
+
+// AggregateAwareBaseline runs the flat counterpart of AggregateAware: one
+// round of uniform hashing with no block combining, sharing the chooser
+// seed so the combiner-tree levers are measured in isolation.
+func (c *Cluster) AggregateAwareBaseline(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
+	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
+		return aggregate.HashFlat(c.t, p, seed, c.exec.netsimOpts()...)
+	})
+}
+
 func (c *Cluster) aggregateWith(data [][]GroupValue,
 	run func(aggregate.Placement) (*aggregate.Result, error)) (*AggregateResult, error) {
 	if err := c.checkFragments("data", make([][]uint64, len(data))); err != nil {

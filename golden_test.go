@@ -118,6 +118,75 @@ func TestGoldenCosts(t *testing.T) {
 	}
 }
 
+// TestGoldenPlaceAwareVsFlat pins the placement-engine protocols on the
+// golden fixtures: capacity-weighted splitter sort (sort-aware) and
+// combiner-tree aggregation (agg-aware) must strictly beat their flat
+// counterparts on the skewed two-tier and caterpillar topologies, and must
+// stay within 1.05× on the symmetric star and fat-tree (where capacities
+// are uniform, no combining plan engages, and the protocols coincide with
+// their baselines by construction). Both tasks of a pair run on the same
+// input, so the ratio isolates the placement lever. sort-aware's winning
+// placements differ from agg-aware's: its lever reshapes the received key
+// ranges, so it wins when data sits on the strong side of a weak cut
+// (oneheavy two-tier, uniform caterpillar) and concedes the send side to
+// WTS.
+func TestGoldenPlaceAwareVsFlat(t *testing.T) {
+	beats := []struct {
+		aware, flat, topo, place string
+	}{
+		{"sort-aware", "sort-aware-flat", "twotier-skew", "oneheavy"},
+		{"sort-aware", "sort-aware-flat", "caterpillar", "uniform"},
+		{"agg-aware", "agg-aware-flat", "twotier-skew", "uniform"},
+		{"agg-aware", "agg-aware-flat", "twotier-skew", "zipf"},
+		{"agg-aware", "agg-aware-flat", "twotier-skew", "oneheavy"},
+		{"agg-aware", "agg-aware-flat", "caterpillar", "uniform"},
+		{"agg-aware", "agg-aware-flat", "caterpillar", "zipf"},
+	}
+	for _, tc := range beats {
+		t.Run(fmt.Sprintf("beats/%s/%s/%s", tc.aware, tc.topo, tc.place), func(t *testing.T) {
+			aware, flat := runPair(t, tc.aware, tc.flat, tc.topo, tc.place)
+			if aware >= flat {
+				t.Errorf("aware cost %.1f not below flat %.1f", aware, flat)
+			} else {
+				t.Logf("ratio %.3f (aware %.1f / flat %.1f)", aware/flat, aware, flat)
+			}
+		})
+	}
+	for _, pair := range [][2]string{{"sort-aware", "sort-aware-flat"}, {"agg-aware", "agg-aware-flat"}} {
+		for _, topo := range []string{"star-uniform", "fattree"} {
+			for _, place := range fixturePlacements {
+				t.Run(fmt.Sprintf("parity/%s/%s/%s", pair[0], topo, place), func(t *testing.T) {
+					aware, flat := runPair(t, pair[0], pair[1], topo, place)
+					if flat > 0 && aware > flat*1.05 {
+						t.Errorf("aware cost %.1f exceeds 1.05× flat %.1f on symmetric topology", aware, flat)
+					}
+				})
+			}
+		}
+	}
+}
+
+// runPair executes an aware task and its flat counterpart on the same
+// fixture input and returns both costs.
+func runPair(t *testing.T, aware, flat, topo, place string) (awareCost, flatCost float64) {
+	t.Helper()
+	c := fixtureCluster(t, topo)
+	spec, ok := topompc.LookupTask(aware)
+	if !ok {
+		t.Fatalf("unknown task %s", aware)
+	}
+	in := fixtureInput(t, spec, c, topo, place, goldenN)
+	a, err := c.RunTask(aware, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.RunTask(flat, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Cost.Cost, f.Cost.Cost
+}
+
 // floatsClose tolerates only float-formatting noise; the executions
 // themselves are deterministic.
 func floatsClose(a, b float64) bool {

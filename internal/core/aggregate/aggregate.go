@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -196,17 +197,31 @@ func decodePartials(dst map[uint64]int64, keys []uint64) {
 // chooserFor builds a shared weighted chooser over the given nodes with the
 // given weights (falling back to uniform when all weights vanish).
 func chooserFor(seed uint64, weights []float64) (*hashing.WeightedChooser, error) {
-	allZero := true
-	for _, w := range weights {
-		if w > 0 {
-			allZero = false
-			break
+	return hashing.NewWeightedChooser(seed, place.FallbackUniform(weights))
+}
+
+// scatterPartials plans and executes one exchange round that delivers each
+// node's partial aggregates to their group homes under the shared chooser
+// (self-sends included — they are free and keep the final-round inbox the
+// complete truth for collect). Every hashing strategy ends in this round.
+func scatterPartials(e *netsim.Engine, in *instance, chooser *hashing.WeightedChooser, partials []map[uint64]int64) {
+	x := e.Exchange()
+	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+		i := indexOf(in.nodes, v)
+		m := partials[i]
+		if len(m) == 0 {
+			return
 		}
-	}
-	if allZero {
-		for i := range weights {
-			weights[i] = 1
+		byDst := make(map[topology.NodeID][]uint64)
+		for _, g := range sortedGroups(m) {
+			d := in.nodes[chooser.Choose(g)]
+			byDst[d] = append(byDst[d], g)
 		}
-	}
-	return hashing.NewWeightedChooser(seed, weights)
+		for _, target := range in.nodes {
+			if groups := byDst[target]; len(groups) > 0 {
+				out.Send(target, netsim.TagData, partialMsg(m, groups))
+			}
+		}
+	})
+	x.Execute()
 }

@@ -1,0 +1,127 @@
+package aggregate
+
+import (
+	"topompc/internal/core/place"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// tagUp carries partial aggregates from a block member to its block
+// combiner (round 1 of CombinerTree). Note that collect reads the final
+// round's inbox untagged — the engine swaps inboxes every round, so the
+// up-phase deliveries are gone by collection time; the distinct tag is
+// for guarding the combiners' own round-1 reads. The scatter to the group
+// homes must therefore stay the last round of every strategy.
+const tagUp netsim.Tag = 30
+
+// CombinerTree is the topology-aware aggregation enabled by the place
+// engine: partial aggregates merge once per weak-cut block before anything
+// crosses a weak link. The compute nodes are partitioned into the blocks
+// of place.CombinerBlocks (connected components after removing weak
+// edges); round 1 merges the members' partials at the block combiner over
+// strong intra-block links, round 2 hashes the merged block partials to
+// global group homes chosen with capacity weights (place.Capacities), so
+// each group crosses a weak cut at most once per block — and rarely even
+// that, since weak nodes host few homes.
+//
+// Combining only engages for the minority-capacity blocks
+// (place.BlockPlan.MinorityBlocks): a multi-member block holding most of
+// the capacity keeps most group homes inside itself, so pre-merging its
+// partials saves nothing on any weak cut and just pays an extra round —
+// on a caterpillar, the strong middle block hashes directly while a
+// weak rack on a two-tier tree still merges before its thin uplink. When
+// no block qualifies the protocol degrades to a single round of
+// capacity-weighted hashing.
+func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	in, err := newInstance(t, data)
+	if err != nil {
+		return nil, err
+	}
+	weights := place.Capacities(t) // strictly positive by contract
+	global, err := chooserFor(hashing.Mix64(seed+0xa66), weights)
+	if err != nil {
+		return nil, err
+	}
+
+	// Restrict the plan to the blocks where the merge round pays.
+	plan := place.CombinerBlocks(t, weights)
+	var combines []bool
+	if plan != nil {
+		combines = plan.MinorityBlocks(weights)
+		any := false
+		for _, c := range combines {
+			any = any || c
+		}
+		if !any {
+			plan = nil
+		}
+	}
+
+	e := netsim.NewEngine(t, opts...)
+	partials := in.local
+	strategy := "combiner-tree"
+	if plan == nil {
+		strategy = "capacity-hash"
+	} else {
+		// Round 1: members of combining blocks push local partials to
+		// their block combiner; the combiner keeps its own partials local.
+		// Everyone else idles and sends directly in round 2.
+		x := e.Exchange()
+		x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+			i := indexOf(in.nodes, v)
+			b := plan.BlockOf[i]
+			if !combines[b] || plan.Combiner[b] == i || len(in.local[i]) == 0 {
+				return
+			}
+			out.Send(in.nodes[plan.Combiner[b]], tagUp, partialMsg(in.local[i], sortedGroups(in.local[i])))
+		})
+		x.Execute()
+		merged := make([]map[uint64]int64, len(in.nodes))
+		for i, v := range in.nodes {
+			b := plan.BlockOf[i]
+			if !combines[b] {
+				merged[i] = in.local[i]
+				continue
+			}
+			if plan.Combiner[b] != i {
+				merged[i] = nil // pushed up; nothing left to send globally
+				continue
+			}
+			m := make(map[uint64]int64, len(in.local[i]))
+			for g, val := range in.local[i] {
+				m[g] += val
+			}
+			for _, msg := range e.Inbox(v) {
+				if msg.Tag == tagUp {
+					decodePartials(m, msg.Keys)
+				}
+			}
+			merged[i] = m
+		}
+		partials = merged
+	}
+
+	// Final round: hash the (block-merged) partials to their global homes.
+	scatterPartials(e, in, global, partials)
+	return collect(e, in, strategy), nil
+}
+
+// HashFlat is the topology-oblivious counterpart of CombinerTree: a single
+// round of uniform hashing with no block combining, as on a flat network —
+// the same chooser seed, so on symmetric topologies (where capacities are
+// uniform and no combining plan exists) the two protocols coincide and the
+// combiner-tree levers can be measured in isolation.
+func HashFlat(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	in, err := newInstance(t, data)
+	if err != nil {
+		return nil, err
+	}
+	chooser, err := chooserFor(hashing.Mix64(seed+0xa66), place.Uniform(len(in.nodes)))
+	if err != nil {
+		return nil, err
+	}
+	e := netsim.NewEngine(t, opts...)
+	scatterPartials(e, in, chooser, in.local)
+	return collect(e, in, "flat-hash"), nil
+}

@@ -1,0 +1,134 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+func TestCombinerTreeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	topos := map[string]*topology.Tree{"figure1b": topology.Figure1b()}
+	if tt, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16); err == nil {
+		topos["twotier-skew"] = tt
+	}
+	if st, err := topology.UniformStar(5, 2); err == nil {
+		topos["star"] = st
+	}
+	if ct, err := topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4); err == nil {
+		topos["caterpillar"] = ct
+	}
+	for name, tr := range topos {
+		t.Run(name, func(t *testing.T) {
+			data := genData(rng, tr.NumCompute(), 200, 50)
+			for _, run := range []struct {
+				name string
+				fn   func() (*Result, error)
+			}{
+				{"combiner-tree", func() (*Result, error) { return CombinerTree(tr, data, 7) }},
+				{"flat-hash", func() (*Result, error) { return HashFlat(tr, data, 7) }},
+			} {
+				res, err := run.fn()
+				if err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+				if err := Verify(data, res); err != nil {
+					t.Fatalf("%s: %v", run.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCombinerTreeStrategySelection: the combining plan engages exactly
+// when the topology has a weak cut with a multi-member block.
+func TestCombinerTreeStrategySelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	star, _ := topology.UniformStar(4, 1)
+	data := genData(rng, 4, 50, 10)
+	res, err := CombinerTree(star, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "capacity-hash" {
+		t.Errorf("uniform star strategy = %s, want capacity-hash (no weak cut)", res.Strategy)
+	}
+	if res.Report.NumRounds() != 1 {
+		t.Errorf("capacity-hash rounds = %d, want 1", res.Report.NumRounds())
+	}
+	skew, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = genData(rng, skew.NumCompute(), 50, 10)
+	res, err = CombinerTree(skew, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "combiner-tree" {
+		t.Errorf("skewed two-tier strategy = %s, want combiner-tree", res.Strategy)
+	}
+	if res.Report.NumRounds() != 2 {
+		t.Errorf("combiner-tree rounds = %d, want 2", res.Report.NumRounds())
+	}
+}
+
+// TestCombinerTreeBeatsFlatOnWeakCut: with groups shared across the whole
+// cluster and a weak uplink, merging once per block must beat per-node
+// partial delivery.
+func TestCombinerTreeBeatsFlatOnWeakCut(t *testing.T) {
+	tr, err := topology.TwoTier([]int{4, 4}, []float64{16, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.NumCompute()
+	data := make(Placement, p)
+	for i := 0; i < p; i++ {
+		for g := 0; g < 200; g++ {
+			// Every node contributes to every group: maximal duplication.
+			data[i] = append(data[i], Pair{Group: uint64(g), Value: 1})
+		}
+	}
+	aware, err := CombinerTree(tr, data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := HashFlat(tr, data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"aware": aware, "flat": flat} {
+		if err := Verify(data, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if aware.Report.TotalCost() >= flat.Report.TotalCost() {
+		t.Errorf("combiner-tree cost %.1f should beat flat cost %.1f",
+			aware.Report.TotalCost(), flat.Report.TotalCost())
+	}
+	// Cost still dominates the exact spanning-groups bound.
+	if lb := LowerBound(tr, data); aware.Report.TotalCost() < lb*(1-1e-9) {
+		t.Errorf("aware cost %.2f below lower bound %.2f", aware.Report.TotalCost(), lb)
+	}
+}
+
+// TestCombinerTreeFlatParityOnSymmetric: with uniform capacities and no
+// weak cut the two protocols coincide (same chooser seed).
+func TestCombinerTreeFlatParityOnSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	star, _ := topology.UniformStar(6, 3)
+	data := genData(rng, 6, 120, 30)
+	aware, err := CombinerTree(star, data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := HashFlat(star, data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Report.TotalCost() != flat.Report.TotalCost() {
+		t.Errorf("symmetric star: aware cost %.3f != flat cost %.3f",
+			aware.Report.TotalCost(), flat.Report.TotalCost())
+	}
+}

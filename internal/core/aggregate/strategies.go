@@ -24,21 +24,7 @@ func Hash(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) 
 		return nil, err
 	}
 	e := netsim.NewEngine(t, opts...)
-	x := e.Exchange()
-	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
-		i := indexOf(in.nodes, v)
-		byDst := make(map[topology.NodeID][]uint64)
-		for _, g := range sortedGroups(in.local[i]) {
-			d := in.nodes[chooser.Choose(g)]
-			byDst[d] = append(byDst[d], g)
-		}
-		for _, target := range in.nodes {
-			if groups := byDst[target]; len(groups) > 0 {
-				out.Send(target, netsim.TagData, partialMsg(in.local[i], groups))
-			}
-		}
-	})
-	x.Execute()
+	scatterPartials(e, in, chooser, in.local)
 	return collect(e, in, "hash"), nil
 }
 
@@ -111,21 +97,7 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Opti
 	if err != nil {
 		return nil, err
 	}
-	x = e.Exchange()
-	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
-		i := indexOf(in.nodes, v)
-		byDst := make(map[topology.NodeID][]uint64)
-		for _, g := range sortedGroups(combined[i]) {
-			d := in.nodes[global.Choose(g)]
-			byDst[d] = append(byDst[d], g)
-		}
-		for _, target := range in.nodes {
-			if groups := byDst[target]; len(groups) > 0 {
-				out.Send(target, netsim.TagData, partialMsgFrom(combined[i], groups))
-			}
-		}
-	})
-	x.Execute()
+	scatterPartials(e, in, global, combined)
 	return collect(e, in, "twolevel"), nil
 }
 
@@ -198,10 +170,6 @@ func collect(e *netsim.Engine, in *instance, strategy string) *Result {
 	}
 	res.Report = e.Report()
 	return res
-}
-
-func partialMsgFrom(m map[uint64]int64, groups []uint64) []uint64 {
-	return partialMsg(m, groups)
 }
 
 func indexOf(nodes []topology.NodeID, v topology.NodeID) int {

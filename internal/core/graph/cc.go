@@ -2,9 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"math"
 
-	"topompc/internal/core/multijoin"
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -70,96 +69,6 @@ func upd(m map[uint64]prop, a uint64, p prop) {
 	}
 }
 
-// blockPlan is the per-cut combining plan of the aware protocol: blocks
-// partition the compute indices, and each block routes its label exchanges
-// through one combiner member before they cross the block boundary.
-type blockPlan struct {
-	blockOf  []int   // compute index -> block
-	combiner []int   // block -> compute index of the block's combiner
-	blocks   [][]int // block -> member compute indices
-}
-
-// combinerBlocks derives the combining plan: blocks are the connected
-// components of the tree after removing its weak edges (bandwidth below
-// half the strongest finite link), so every block boundary is a weak cut
-// worth protecting and every intra-block link is strong. The combiner of a
-// block is its highest-capacity member. Returns nil when combining cannot
-// help: a single block (no weak cut) or all-singleton blocks.
-func combinerBlocks(t *topology.Tree, weights []float64) *blockPlan {
-	maxW := 0.0
-	for e := 0; e < t.NumEdges(); e++ {
-		if w := t.Bandwidth(topology.EdgeID(e)); !math.IsInf(w, 1) && w > maxW {
-			maxW = w
-		}
-	}
-	if maxW == 0 {
-		return nil
-	}
-	thresh := maxW / 2
-
-	comp := make([]int, t.NumNodes())
-	for i := range comp {
-		comp[i] = -1
-	}
-	numComp := 0
-	for start := 0; start < t.NumNodes(); start++ {
-		if comp[start] != -1 {
-			continue
-		}
-		id := numComp
-		numComp++
-		stack := []topology.NodeID{topology.NodeID(start)}
-		comp[start] = id
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, h := range t.Neighbors(v) {
-				if t.Bandwidth(h.Edge) >= thresh && comp[h.To] == -1 {
-					comp[h.To] = id
-					stack = append(stack, h.To)
-				}
-			}
-		}
-	}
-
-	plan := &blockPlan{blockOf: make([]int, t.NumCompute())}
-	blockID := make(map[int]int)
-	for i, v := range t.ComputeNodes() {
-		b, ok := blockID[comp[v]]
-		if !ok {
-			b = len(plan.blocks)
-			blockID[comp[v]] = b
-			plan.blocks = append(plan.blocks, nil)
-		}
-		plan.blockOf[i] = b
-		plan.blocks[b] = append(plan.blocks[b], i)
-	}
-	if len(plan.blocks) <= 1 {
-		return nil
-	}
-	multi := false
-	for _, members := range plan.blocks {
-		if len(members) > 1 {
-			multi = true
-			break
-		}
-	}
-	if !multi {
-		return nil
-	}
-	plan.combiner = make([]int, len(plan.blocks))
-	for b, members := range plan.blocks {
-		best := members[0]
-		for _, m := range members[1:] {
-			if weights[m] > weights[best] {
-				best = m
-			}
-		}
-		plan.combiner[b] = best
-	}
-	return plan
-}
-
 // proto is the driver state of one protocol run. Everything is indexed by
 // compute index (position in ComputeNodes).
 type proto struct {
@@ -168,7 +77,7 @@ type proto struct {
 	nodes   []topology.NodeID
 	idx     map[topology.NodeID]int
 	home    func(uint64) int
-	plan    *blockPlan // nil = direct delivery
+	plan    *place.BlockPlan // nil = direct delivery
 	witness bool
 
 	active  [][]workEdge        // contracted edges held locally
@@ -211,7 +120,7 @@ func (pr *proto) register(verts []map[uint64]bool) {
 	if pr.plan != nil {
 		pr.round(func(i int, out *netsim.Outbox) {
 			if batch := sortedKeys(verts[i]); len(batch) > 0 {
-				out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagVertexUp, batch)
+				out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagVertexUp, batch)
 			}
 		})
 		merged := make([]map[uint64]bool, len(pr.nodes))
@@ -300,7 +209,7 @@ func (pr *proto) propose() {
 	if pr.plan != nil {
 		pr.round(func(i int, out *netsim.Outbox) {
 			if len(local[i]) > 0 {
-				out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagProposeUp,
+				out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagProposeUp,
 					encodeProps(local[i], pr.witness))
 			}
 		})
@@ -471,7 +380,7 @@ func (pr *proto) lookups() []map[uint64]uint64 {
 	// A: members push their needs to the block combiner.
 	pr.round(func(i int, out *netsim.Outbox) {
 		if batch := sortedKeys(needs[i]); len(batch) > 0 {
-			out.Send(pr.nodes[pr.plan.combiner[pr.plan.blockOf[i]]], tagLookupUp, batch)
+			out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagLookupUp, batch)
 		}
 	})
 	type memberNeed struct {
@@ -623,12 +532,9 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 
 	var weights []float64
 	if aware {
-		weights = multijoin.Capacities(tr)
+		weights = place.Capacities(tr)
 	} else {
-		weights = make([]float64, p)
-		for i := range weights {
-			weights[i] = 1
-		}
+		weights = place.Uniform(p)
 	}
 	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0xCC0C), weights)
 	if err != nil {
@@ -636,10 +542,10 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 	}
 
 	strategy := "flat"
-	var plan *blockPlan
+	var plan *place.BlockPlan
 	if aware {
 		strategy = "aware"
-		if plan = combinerBlocks(tr, weights); plan != nil {
+		if plan = place.CombinerBlocks(tr, weights); plan != nil {
 			strategy = "aware+combine"
 		}
 	}

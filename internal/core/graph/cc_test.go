@@ -36,9 +36,9 @@ func testTrees(t *testing.T) map[string]*topology.Tree {
 	}
 }
 
-// place splits packed edges over p compute nodes round-robin and unpacks
+// placeEdges splits packed edges over p compute nodes round-robin and unpacks
 // them into a graph placement.
-func place(packed []uint64, p int) Placement {
+func placeEdges(packed []uint64, p int) Placement {
 	pl := make(Placement, p)
 	for i, key := range packed {
 		u, v := dataset.UnpackEdge(key)
@@ -78,7 +78,7 @@ func TestCCMatchesReference(t *testing.T) {
 	fams := families(t, rng)
 	for tname, tree := range testTrees(t) {
 		for fname, packed := range fams {
-			pl := place(packed, tree.NumCompute())
+			pl := placeEdges(packed, tree.NumCompute())
 			ref := Reference(pl)
 			for vname, run := range map[string]func(*topology.Tree, Placement, uint64, ...netsim.Option) (*Result, error){
 				"aware": CC, "flat": CCFlat, "forest": SpanningForest,
@@ -137,7 +137,7 @@ func TestCCAwareBeatsFlatOnBridgeOfCliques(t *testing.T) {
 	for _, tname := range []string{"twotier-skew", "caterpillar"} {
 		t.Run(tname, func(t *testing.T) {
 			tree := trees[tname]
-			pl := place(packed, tree.NumCompute())
+			pl := placeEdges(packed, tree.NumCompute())
 			aware, err := CC(tree, pl, 42)
 			if err != nil {
 				t.Fatal(err)
@@ -164,7 +164,7 @@ func TestCCDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := place(packed, tree.NumCompute())
+	pl := placeEdges(packed, tree.NumCompute())
 	run := func(workers int) *Result {
 		res, err := CC(tree, pl, 42, netsim.WithWorkers(workers))
 		if err != nil {
@@ -196,9 +196,9 @@ func TestCCEdgeCases(t *testing.T) {
 	p := tree.NumCompute()
 	cases := map[string]Placement{
 		"empty":     make(Placement, p),
-		"selfloops": place([]uint64{dataset.PackEdge(1, 1), dataset.PackEdge(2, 2)}, p),
-		"parallel":  place([]uint64{dataset.PackEdge(1, 2), dataset.PackEdge(2, 1), dataset.PackEdge(1, 2)}, p),
-		"pair":      place([]uint64{dataset.PackEdge(7, 3)}, p),
+		"selfloops": placeEdges([]uint64{dataset.PackEdge(1, 1), dataset.PackEdge(2, 2)}, p),
+		"parallel":  placeEdges([]uint64{dataset.PackEdge(1, 2), dataset.PackEdge(2, 1), dataset.PackEdge(1, 2)}, p),
+		"pair":      placeEdges([]uint64{dataset.PackEdge(7, 3)}, p),
 	}
 	for name, pl := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -224,35 +224,5 @@ func TestCCEdgeCases(t *testing.T) {
 	}
 }
 
-// TestCombinerBlocks checks the combining plan on the canonical shapes.
-func TestCombinerBlocks(t *testing.T) {
-	trees := testTrees(t)
-	uniform := func(n int) []float64 {
-		w := make([]float64, n)
-		for i := range w {
-			w[i] = 1
-		}
-		return w
-	}
-	// Uniform star: no weak edge, no plan.
-	if plan := combinerBlocks(trees["star"], uniform(trees["star"].NumCompute())); plan != nil {
-		t.Errorf("star: unexpected combining plan %+v", plan)
-	}
-	// Skewed two-tier: the weak uplink splits the racks into two blocks.
-	plan := combinerBlocks(trees["twotier-skew"], uniform(trees["twotier-skew"].NumCompute()))
-	if plan == nil {
-		t.Fatal("twotier-skew: expected a combining plan")
-	}
-	if len(plan.blocks) != 2 {
-		t.Fatalf("twotier-skew: %d blocks, want 2 (%v)", len(plan.blocks), plan.blocks)
-	}
-	for i, b := range plan.blockOf {
-		want := 0
-		if i >= 4 {
-			want = 1
-		}
-		if b != want {
-			t.Errorf("compute %d in block %d, want %d", i, b, want)
-		}
-	}
-}
+// The combining-plan unit tests moved to internal/core/place with the
+// block machinery (TestCombinerBlocksShapes, TestCombinerBlocksPartition).

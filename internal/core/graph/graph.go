@@ -20,19 +20,18 @@
 //
 // Two topology-aware levers separate the aware protocol from the flat
 // baseline, both driven by the bandwidth capacities of
-// multijoin.Capacities:
+// place.Capacities:
 //
 //   - Home placement: vertices are hashed to compute nodes with
 //     probability proportional to each node's bandwidth capacity into the
 //     rest of the tree, so label state concentrates inside well-connected
 //     subtrees and hot labels are not owned by nodes behind weak uplinks.
-//   - Per-cut combining: the compute nodes are partitioned into blocks —
-//     the connected components of the tree after removing its weak edges —
-//     and every label exchange (vertex registration, per-edge label
-//     proposals, root lookups) is first combined at a block-local combiner
-//     node before crossing the block boundary. Duplicate (vertex → label)
-//     updates for a hot label then cross each weak cut once per block
-//     instead of once per node.
+//   - Per-cut combining: the compute nodes are partitioned into the
+//     weak-cut blocks of place.CombinerBlocks, and every label exchange
+//     (vertex registration, per-edge label proposals, root lookups) is
+//     first combined at a block-local combiner node before crossing the
+//     block boundary. Duplicate (vertex → label) updates for a hot label
+//     then cross each weak cut once per block instead of once per node.
 //
 // The flat baseline hashes vertices uniformly and sends every update
 // directly, as on a flat network. Both variants execute the identical
@@ -73,17 +72,17 @@ func (p Placement) NumEdges() int64 {
 // Message tags of the connectivity protocol. Values are local to the
 // engine run and never clash with other protocols.
 const (
-	tagVertex    netsim.Tag = 10 + iota // vertex registration: [v, ...]
-	tagVertexUp                         // registration, member → combiner
-	tagPropose                          // label proposals: [a, b(, wu, wv), ...]
-	tagProposeUp                        // proposals, member → combiner
-	tagJumpQ                            // pointer-jump query: [q, ...]
-	tagJumpStep                         // jump reply, one step: [q, parent, ...]
-	tagJumpRoot                         // jump reply, resolved: [q, root, ...]
-	tagLookupQ                          // root lookup query: [a, ...]
-	tagLookupA                          // root lookup reply: [a, root, ...]
-	tagLookupUp                         // lookup query, member → combiner
-	tagLookupDown                       // lookup reply, combiner → member
+	tagVertex     netsim.Tag = 10 + iota // vertex registration: [v, ...]
+	tagVertexUp                          // registration, member → combiner
+	tagPropose                           // label proposals: [a, b(, wu, wv), ...]
+	tagProposeUp                         // proposals, member → combiner
+	tagJumpQ                             // pointer-jump query: [q, ...]
+	tagJumpStep                          // jump reply, one step: [q, parent, ...]
+	tagJumpRoot                          // jump reply, resolved: [q, root, ...]
+	tagLookupQ                           // root lookup query: [a, ...]
+	tagLookupA                           // root lookup reply: [a, root, ...]
+	tagLookupUp                          // lookup query, member → combiner
+	tagLookupDown                        // lookup reply, combiner → member
 )
 
 // Result of a connectivity protocol run.

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"topompc/internal/core/intersect"
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -184,19 +185,10 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.Option) 
 			blockOf[v] = b
 		}
 		w := make([]float64, len(members))
-		allZero := true
 		for j, v := range members {
 			w[j] = float64(loads[v])
-			if w[j] > 0 {
-				allZero = false
-			}
 		}
-		if allZero {
-			for j := range w {
-				w[j] = 1
-			}
-		}
-		choosers[b], err = hashing.NewWeightedChooser(hashing.Mix64(seed+uint64(b)+1), w)
+		choosers[b], err = hashing.NewWeightedChooser(hashing.Mix64(seed+uint64(b)+1), place.FallbackUniform(w))
 		if err != nil {
 			return nil, err
 		}
@@ -305,11 +297,7 @@ func UniformHash(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.O
 		return nil, fmt.Errorf("join: placements cover %d/%d nodes, tree has %d compute nodes",
 			len(r), len(s), len(nodes))
 	}
-	weights := make([]float64, len(nodes))
-	for i := range weights {
-		weights[i] = 1
-	}
-	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0x10ad), weights)
+	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0x10ad), place.Uniform(len(nodes)))
 	if err != nil {
 		return nil, err
 	}

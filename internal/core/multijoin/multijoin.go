@@ -10,7 +10,7 @@
 // its whole slab of replicated input across that link. The topology-aware
 // variant here therefore decouples cells from servers: the grid cells are
 // apportioned across the compute nodes proportionally to each node's
-// bandwidth capacity into the rest of the tree (Capacities), assigned
+// bandwidth capacity into the rest of the tree (place.Capacities), assigned
 // contiguously along the tree's preorder so that neighboring cells share
 // subtrees and multicast slabs route along small Steiner trees. Nodes
 // behind weak links own few (or zero) cells and only their own input ever
@@ -38,7 +38,6 @@ package multijoin
 import (
 	"fmt"
 
-	"topompc/internal/dataset"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -123,70 +122,6 @@ func BalancedShares(p, dims int) []int {
 		}
 		g[best]++
 	}
-}
-
-// cellLayout maps grid cells to compute nodes: owner[i] is the compute
-// index owning cell i, perNode the number of cells per compute index.
-type cellLayout struct {
-	owner   []int32
-	perNode []int
-}
-
-// assignCells apportions numCells grid cells over the compute nodes
-// proportionally to weights (indexed in ComputeNodes order) and assigns
-// them contiguously following order (a permutation of compute indices).
-// Contiguity along the tree preorder keeps neighboring cells — which share
-// multicast slabs — inside common subtrees.
-func assignCells(numCells int, weights []float64, order []int) (*cellLayout, error) {
-	counts, err := dataset.Apportion(numCells, weights)
-	if err != nil {
-		return nil, fmt.Errorf("multijoin: apportioning %d cells: %w", numCells, err)
-	}
-	l := &cellLayout{owner: make([]int32, numCells), perNode: make([]int, len(weights))}
-	cell := 0
-	for _, ci := range order {
-		for k := 0; k < counts[ci]; k++ {
-			l.owner[cell] = int32(ci)
-			cell++
-		}
-		l.perNode[ci] = counts[ci]
-	}
-	return l, nil
-}
-
-// preorderComputeIndices lists the compute indices (positions in
-// ComputeNodes) in tree preorder, so contiguous cell runs land in common
-// subtrees.
-func preorderComputeIndices(t *topology.Tree) []int {
-	idx := make(map[topology.NodeID]int, t.NumCompute())
-	for i, v := range t.ComputeNodes() {
-		idx[v] = i
-	}
-	order := make([]int, 0, t.NumCompute())
-	for _, v := range t.Preorder() {
-		if t.IsCompute(v) {
-			order = append(order, idx[v])
-		}
-	}
-	return order
-}
-
-// identityOrder is the topology-oblivious assignment order 0..n-1.
-func identityOrder(n int) []int {
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	return order
-}
-
-// uniformWeights is the flat-HyperCube weight vector.
-func uniformWeights(n int) []float64 {
-	w := make([]float64, n)
-	for i := range w {
-		w[i] = 1
-	}
-	return w
 }
 
 // encode packs tuples as (A, B) element pairs: 2 wire elements per tuple.

@@ -1,7 +1,6 @@
 package multijoin
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
@@ -215,37 +214,6 @@ func TestCostAboveMultijoinBound(t *testing.T) {
 			if cost := res.Report.TotalCost(); cost < lb.Value {
 				t.Errorf("%s/%s: cost %.3f below bound %.3f", name, variant, cost, lb.Value)
 			}
-		}
-	}
-}
-
-// TestCapacities: capacity weights reflect uplink bottlenecks and stay
-// uniform on symmetric topologies.
-func TestCapacities(t *testing.T) {
-	trees := testTrees(t)
-	w := Capacities(trees["star"])
-	for i := 1; i < len(w); i++ {
-		if w[i] != w[0] {
-			t.Fatalf("uniform star has non-uniform capacities %v", w)
-		}
-	}
-	w = Capacities(trees["twotier"])
-	// Rack 1 (nodes 0-3) sits behind a 16× uplink; rack 2 behind 1.
-	if w[0] <= w[4] {
-		t.Fatalf("fast-rack node weight %v not above slow-rack %v (all: %v)", w[0], w[4], w)
-	}
-	// Infinite links must not produce NaN/zero weights.
-	b := topology.NewBuilder()
-	root := b.Router("w")
-	v1 := b.Compute("v1")
-	v2 := b.Compute("v2")
-	b.Link(v1, root, 1)
-	b.Link(v2, root, math.Inf(1))
-	inf := b.MustBuild()
-	w = Capacities(inf)
-	for i, x := range w {
-		if !(x > 0) {
-			t.Fatalf("weight %d = %v on tree with infinite link", i, x)
 		}
 	}
 }

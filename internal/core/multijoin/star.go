@@ -3,6 +3,7 @@ package multijoin
 import (
 	"fmt"
 
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -47,9 +48,9 @@ func star(tr *topology.Tree, rels []Placement, seed uint64, aware bool, opts []n
 
 	var weights []float64
 	if aware {
-		weights = Capacities(tr)
+		weights = place.Capacities(tr)
 	} else {
-		weights = uniformWeights(p)
+		weights = place.Uniform(p)
 	}
 	chooser, err := hashing.NewWeightedChooser(hashing.Mix64(seed+0x57A2), weights)
 	if err != nil {

@@ -3,6 +3,7 @@ package multijoin
 import (
 	"sort"
 
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -67,13 +68,13 @@ func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, op
 	var weights []float64
 	var order []int
 	if aware {
-		weights = Capacities(tr)
-		order = preorderComputeIndices(tr)
+		weights = place.Capacities(tr)
+		order = place.PreorderComputeIndices(tr)
 	} else {
-		weights = uniformWeights(p)
-		order = identityOrder(p)
+		weights = place.Uniform(p)
+		order = place.IdentityOrder(p)
 	}
-	layout, err := assignCells(numCells, weights, order)
+	layout, err := place.AssignCells(numCells, weights, order)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, op
 		var dsts []topology.NodeID
 		seen := make(map[int32]bool, free)
 		for k := 0; k < free; k++ {
-			o := layout.owner[cells(k)]
+			o := layout.Owner[cells(k)]
 			if !seen[o] {
 				seen[o] = true
 				dsts = append(dsts, nodes[o])
@@ -158,7 +159,7 @@ func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, op
 
 	// Owned cells per node.
 	owned := make([][]int, p)
-	for cell, o := range layout.owner {
+	for cell, o := range layout.Owner {
 		owned[o] = append(owned[o], cell)
 	}
 
@@ -166,7 +167,7 @@ func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, op
 		PerNode:      make([]int64, p),
 		Sample:       make([][]Triple, p),
 		Shares:       shares,
-		CellsPerNode: layout.perNode,
+		CellsPerNode: layout.PerNode,
 	}
 	for i, v := range nodes {
 		if len(owned[i]) == 0 {

@@ -1,0 +1,126 @@
+package place
+
+import (
+	"math"
+
+	"topompc/internal/topology"
+)
+
+// BlockPlan is a per-cut combining plan: blocks partition the compute
+// indices, and each block routes its exchanges through one combiner member
+// before they cross the block boundary, so a duplicate-heavy payload
+// crosses each weak cut once per block instead of once per node.
+type BlockPlan struct {
+	BlockOf  []int   // compute index -> block
+	Combiner []int   // block -> compute index of the block's combiner
+	Blocks   [][]int // block -> member compute indices
+}
+
+// CombinerBlocks derives the combining plan: blocks are the connected
+// components of the tree after removing its weak edges (bandwidth below
+// half the strongest finite link), so every block boundary is a weak cut
+// worth protecting and every intra-block link is strong. The combiner of a
+// block is its highest-weight member (weights indexed in ComputeNodes
+// order, typically Capacities). Returns nil when combining cannot help: a
+// single block (no weak cut) or all-singleton blocks.
+func CombinerBlocks(t *topology.Tree, weights []float64) *BlockPlan {
+	maxW := 0.0
+	for e := 0; e < t.NumEdges(); e++ {
+		if w := t.Bandwidth(topology.EdgeID(e)); !math.IsInf(w, 1) && w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		return nil
+	}
+	thresh := maxW / 2
+
+	comp := make([]int, t.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	numComp := 0
+	for start := 0; start < t.NumNodes(); start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := numComp
+		numComp++
+		stack := []topology.NodeID{topology.NodeID(start)}
+		comp[start] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range t.Neighbors(v) {
+				if t.Bandwidth(h.Edge) >= thresh && comp[h.To] == -1 {
+					comp[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+
+	plan := &BlockPlan{BlockOf: make([]int, t.NumCompute())}
+	blockID := make(map[int]int)
+	for i, v := range t.ComputeNodes() {
+		b, ok := blockID[comp[v]]
+		if !ok {
+			b = len(plan.Blocks)
+			blockID[comp[v]] = b
+			plan.Blocks = append(plan.Blocks, nil)
+		}
+		plan.BlockOf[i] = b
+		plan.Blocks[b] = append(plan.Blocks[b], i)
+	}
+	if len(plan.Blocks) <= 1 {
+		return nil
+	}
+	multi := false
+	for _, members := range plan.Blocks {
+		if len(members) > 1 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return nil
+	}
+	plan.Combiner = make([]int, len(plan.Blocks))
+	for b, members := range plan.Blocks {
+		best := members[0]
+		for _, m := range members[1:] {
+			if weights[m] > weights[best] {
+				best = m
+			}
+		}
+		plan.Combiner[b] = best
+	}
+	return plan
+}
+
+// MinorityBlocks flags the blocks where an extra combining round pays off
+// under weight-proportional homing: multi-member blocks holding a minority
+// (at most half) of the total weight. Such a block's duplicate payloads
+// are mostly homed outside it, so merging them before the weak cut saves
+// up to a |block|× factor on the cut; a majority-weight block keeps most
+// payloads home anyway, and singleton blocks have nothing to merge — for
+// those the merge round is pure overhead. Weights are indexed in
+// ComputeNodes order, like CombinerBlocks.
+func (p *BlockPlan) MinorityBlocks(weights []float64) []bool {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]bool, len(p.Blocks))
+	for b, members := range p.Blocks {
+		if len(members) < 2 {
+			continue
+		}
+		var blockW float64
+		for _, i := range members {
+			blockW += weights[i]
+		}
+		out[b] = 2*blockW <= total
+	}
+	return out
+}

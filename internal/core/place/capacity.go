@@ -1,4 +1,4 @@
-package multijoin
+package place
 
 import (
 	"math"
@@ -23,14 +23,13 @@ import (
 //  2. Top-down, the centroid's capacity is distributed to the leaves
 //     proportionally to the subtree capacities.
 //
-// Apportioning HyperCube grid cells proportionally to these weights
-// concentrates the share grid inside well-connected subtrees: slabs stop
-// spanning weak cuts, so a weak edge carries each remote tuple at most
-// once (Steiner-routed) instead of once per direction, and nodes behind
-// weak uplinks own few or zero cells. This is the share-dimension
-// analogue of the paper's weighted-hashing principle. Infinite-bandwidth
-// links are clamped to a large finite stand-in so proportions stay
-// well-defined.
+// Weighting hashing, cell apportioning, or splitter selection by these
+// capacities concentrates work inside well-connected subtrees: nodes
+// behind weak uplinks receive little, so a weak edge carries each remote
+// element at most once instead of once per direction or per copy. This is
+// the share-dimension analogue of the paper's weighted-hashing principle.
+// Infinite-bandwidth links are clamped to a large finite stand-in so
+// proportions stay well-defined.
 func Capacities(t *topology.Tree) []float64 {
 	n := t.NumNodes()
 	// Clamp +Inf links: anything beyond every finite link's total acts as
@@ -139,19 +138,7 @@ func Capacities(t *topology.Tree) []float64 {
 	}
 
 	// Degenerate trees (all-zero flow) fall back to uniform.
-	allZero := true
-	for _, w := range weights {
-		if w > 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		for i := range weights {
-			weights[i] = 1
-		}
-	}
-	return weights
+	return FallbackUniform(weights)
 }
 
 // centroid returns the tree centroid: the node minimizing the maximum

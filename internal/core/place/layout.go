@@ -1,0 +1,53 @@
+package place
+
+import (
+	"fmt"
+
+	"topompc/internal/dataset"
+)
+
+// Layout maps unit cells to compute nodes: Owner[i] is the compute index
+// owning cell i, PerNode the number of cells per compute index.
+type Layout struct {
+	Owner   []int32
+	PerNode []int
+}
+
+// AssignCells apportions numCells unit cells over the compute nodes
+// proportionally to weights (indexed in ComputeNodes order) and assigns
+// them contiguously following order (a permutation of compute indices,
+// typically PreorderComputeIndices). Contiguity along the tree preorder
+// keeps neighboring cells — which share multicast slabs — inside common
+// subtrees.
+//
+// Rounding is largest-remainder (dataset.Apportion), not the prefix-exact
+// Proportional scheme: cells are placement decisions, so per-node fidelity
+// wins — a node whose exact share is 0.1 cells must get 0 cells (its
+// uplink is weak), not pick one up from a neighboring node's accumulated
+// remainder.
+func AssignCells(numCells int, weights []float64, order []int) (*Layout, error) {
+	if len(order) != len(weights) {
+		return nil, fmt.Errorf("place: order covers %d nodes, weights %d", len(order), len(weights))
+	}
+	seen := make([]bool, len(weights))
+	for _, ci := range order {
+		if ci < 0 || ci >= len(weights) || seen[ci] {
+			return nil, fmt.Errorf("place: order is not a permutation of 0..%d", len(weights)-1)
+		}
+		seen[ci] = true
+	}
+	counts, err := dataset.Apportion(numCells, FallbackUniform(weights))
+	if err != nil {
+		return nil, fmt.Errorf("place: apportioning %d cells: %w", numCells, err)
+	}
+	l := &Layout{Owner: make([]int32, numCells), PerNode: make([]int, len(weights))}
+	cell := 0
+	for _, ci := range order {
+		for k := 0; k < counts[ci]; k++ {
+			l.Owner[cell] = int32(ci)
+			cell++
+		}
+		l.PerNode[ci] = counts[ci]
+	}
+	return l, nil
+}

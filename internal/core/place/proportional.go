@@ -1,0 +1,68 @@
+package place
+
+// Proportional splits n units across len(weights) buckets proportionally
+// to the weights, using a running remainder Δ — the §5.2 Algorithm 6 /
+// Lemma 9 scheme of the paper, generalized from heavy-node sizes to
+// arbitrary non-negative weights — so that:
+//
+//  1. every prefix sum is within 1 of the exact proportional share,
+//  2. every range sum exceeds its proportional share by at most 1, and
+//  3. the counts sum to exactly n (when the weights are not all zero).
+//
+// The prefix property is what makes the scheme the right apportioner for
+// contiguous layouts (preorder cell runs, ordered key ranges): every
+// subtree's contiguous run stays within one unit of its proportional
+// share, not just each node's. All-zero or empty weights yield all-zero
+// counts.
+func Proportional(weights []float64, n int64) []int64 {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	counts := make([]int64, len(weights))
+	if total == 0 || n == 0 {
+		return counts
+	}
+	delta := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		x := w / total * float64(n)
+		floor := float64(int64(x))
+		frac := x - floor
+		if delta >= frac {
+			counts[i] = int64(floor)
+			delta -= frac
+		} else {
+			counts[i] = int64(floor) + 1
+			delta += 1 - frac
+		}
+	}
+	// Guard against floating-point drift on the final slot: the counts must
+	// sum to exactly n (Lemma 9(3) holds with equality).
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	for i := len(counts) - 1; i >= 0 && sum != n; i-- {
+		adj := n - sum
+		if counts[i]+adj >= 0 {
+			counts[i] += adj
+			sum = n
+		}
+	}
+	return counts
+}
+
+// ProportionalInt is Proportional over integer weights (the paper's
+// original Algorithm 6 signature: heavy-node sizes N_{v_i}).
+func ProportionalInt(weights []int64, n int64) []int64 {
+	w := make([]float64, len(weights))
+	for i, h := range weights {
+		w[i] = float64(h)
+	}
+	return Proportional(w, n)
+}

@@ -1,0 +1,40 @@
+package place
+
+import "math"
+
+// Splitters picks len(weights)-1 splitter keys from an ascending sample so
+// that interval i — destined for the i-th node of a left-to-right ordering
+// — receives a share of the sample ranks proportional to weights[i]
+// (remainder-exact via Proportional). Weighting by Capacities shrinks the
+// key ranges of nodes behind weak cuts, so a sorted redistribution ships
+// little data across thin uplinks; uniform weights reproduce the classic
+// equal-quantile TeraSort splitters. Interval i is [splitters[i-1],
+// splitters[i]); zero-weight nodes get empty intervals (duplicate
+// splitters). An empty sample routes everything to the first node
+// (all-MaxUint64 splitters, matching the sampling protocols' tiny-input
+// degeneration).
+func Splitters(sorted []uint64, weights []float64) []uint64 {
+	k := len(weights)
+	if k <= 1 {
+		return nil
+	}
+	s := int64(len(sorted))
+	out := make([]uint64, 0, k-1)
+	if s == 0 {
+		for i := 1; i < k; i++ {
+			out = append(out, math.MaxUint64)
+		}
+		return out
+	}
+	counts := Proportional(FallbackUniform(weights), s)
+	var cum int64
+	for i := 0; i < k-1; i++ {
+		cum += counts[i]
+		if cum >= s {
+			out = append(out, math.MaxUint64)
+			continue
+		}
+		out = append(out, sorted[cum])
+	}
+	return out
+}

@@ -27,7 +27,8 @@ type Result struct {
 	Order []topology.NodeID
 	// Report is the cost accounting.
 	Report *netsim.Report
-	// Strategy identifies the protocol path: "wts", "gather" or "terasort".
+	// Strategy identifies the protocol path: "wts", "gather", "terasort",
+	// or the capacity-splitter pair "sort-aware" / "sort-flat".
 	Strategy string
 }
 

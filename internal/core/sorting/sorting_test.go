@@ -27,63 +27,9 @@ func uniformPlace(keys []uint64, p int) (dataset.Placement, error) {
 	return dataset.SplitUniform(keys, p)
 }
 
-func TestProportionalLemma9(t *testing.T) {
-	f := func(rawHeavy []uint16, rawNu uint16) bool {
-		if len(rawHeavy) == 0 {
-			return true
-		}
-		heavy := make([]int64, len(rawHeavy))
-		var total int64
-		for i, h := range rawHeavy {
-			heavy[i] = int64(h)
-			total += heavy[i]
-		}
-		nu := int64(rawNu)
-		counts := Proportional(heavy, nu)
-		var sum int64
-		for _, c := range counts {
-			if c < 0 {
-				return false
-			}
-			sum += c
-		}
-		if total == 0 {
-			return sum == 0
-		}
-		// Lemma 9(3) with equality: the counts consume exactly nu.
-		if sum != nu {
-			return false
-		}
-		// Lemma 9(1): every prefix within 1 of the exact share.
-		var prefix, heavyPrefix int64
-		for i := range counts {
-			prefix += counts[i]
-			heavyPrefix += heavy[i]
-			exact := float64(heavyPrefix) / float64(total) * float64(nu)
-			if float64(prefix) < exact-1-1e-6 || float64(prefix) > exact+1+1e-6 {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestProportionalZeroCases(t *testing.T) {
-	if got := Proportional(nil, 5); len(got) != 0 {
-		t.Error("no heavy nodes should give empty counts")
-	}
-	got := Proportional([]int64{0, 0}, 5)
-	if got[0] != 0 || got[1] != 0 {
-		t.Errorf("zero-weight heavy nodes got %v", got)
-	}
-	got = Proportional([]int64{3, 7}, 0)
-	if got[0] != 0 || got[1] != 0 {
-		t.Errorf("empty light node sends %v", got)
-	}
-}
+// The Algorithm 6 / Lemma 9 apportioning tests moved to
+// internal/core/place with Proportional (TestProportionalLemma9,
+// TestProportionalZeroCases).
 
 func TestWTSCorrectStar(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))

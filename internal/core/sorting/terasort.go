@@ -76,12 +76,7 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64, opts ...net
 	// interval j. Everyone sorts locally.
 	x = e.Exchange()
 	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
-		i := idx[v]
-		buckets := make([][]uint64, p)
-		for _, x := range in.data[i] {
-			buckets[bucketOf(x, splitters)] = append(buckets[bucketOf(x, splitters)], x)
-		}
-		for j, b := range buckets {
+		for j, b := range bucketKeys(in.data[idx[v]], splitters, int(p)) {
 			if len(b) > 0 {
 				out.Send(order[j], netsim.TagData, b)
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"topompc/internal/core/place"
 	"topompc/internal/dataset"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -108,7 +109,7 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 				shares[j] = 1
 			}
 		}
-		counts := Proportional(shares, int64(len(in.data[i])))
+		counts := place.ProportionalInt(shares, int64(len(in.data[i])))
 		off := int64(0)
 		for j, c := range counts {
 			if c > 0 {
@@ -191,14 +192,9 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 		for j, hi := range heavy {
 			if hi == i {
 				mine = working[j]
-				_ = j
 			}
 		}
-		buckets := make([][]uint64, k)
-		for _, x := range mine {
-			buckets[bucketOf(x, splitters)] = append(buckets[bucketOf(x, splitters)], x)
-		}
-		for j, b := range buckets {
+		for j, b := range bucketKeys(mine, splitters, k) {
 			if len(b) > 0 {
 				out.Send(in.nodes[heavy[j]], netsim.TagData, b)
 			}
@@ -266,4 +262,16 @@ func chooseSplitters(sorted []uint64, p, total int64, working [][]uint64) []uint
 // splitters[j]).
 func bucketOf(x uint64, splitters []uint64) int {
 	return sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+}
+
+// bucketKeys partitions keys into the n splitter intervals — the shared
+// redistribution step of every splitter-based sort here (TeraSort, wTS
+// round 4, the capacity-splitter sort).
+func bucketKeys(keys []uint64, splitters []uint64, n int) [][]uint64 {
+	buckets := make([][]uint64, n)
+	for _, x := range keys {
+		b := bucketOf(x, splitters)
+		buckets[b] = append(buckets[b], x)
+	}
+	return buckets
 }

@@ -23,8 +23,10 @@ import (
 var awareBaselinePairs = [][2]string{
 	{"intersect", "intersect-baseline"},
 	{"sort", "sort-baseline"},
+	{"sort-aware", "sort-aware-flat"},
 	{"join", "join-baseline"},
 	{"aggregate", "aggregate-baseline"},
+	{"agg-aware", "agg-aware-flat"},
 	{"triangle", "triangle-flat"},
 	{"starjoin", "starjoin-flat"},
 	{"cc", "cc-flat"},
@@ -53,8 +55,8 @@ func randomTrials(t *testing.T) []struct {
 	for trial := 0; trial < 10; trial++ {
 		seed := int64(1000 + trial*7)
 		rng := rand.New(rand.NewSource(seed))
-		p := 2 + rng.Intn(9)  // 2..10 compute nodes
-		r := 1 + rng.Intn(6)  // 1..6 routers
+		p := 2 + rng.Intn(9) // 2..10 compute nodes
+		r := 1 + rng.Intn(6) // 1..6 routers
 		minBW := 1 + rng.Float64()*2
 		maxBW := minBW + rng.Float64()*8
 		tree, err := topology.Random(rng, p, r, minBW, maxBW)

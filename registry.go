@@ -1,6 +1,7 @@
 package topompc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -90,14 +91,35 @@ type Task struct {
 
 var taskRegistry = map[string]Task{}
 
-// RegisterTask adds a task to the registry; it panics on a duplicate name.
-// The built-in tasks are registered at init time; callers may add their
-// own.
-func RegisterTask(t Task) {
+// ErrDuplicateTask is returned by RegisterTask when a task name is already
+// taken. The existing registration is left untouched — a later register
+// never shadows an earlier one.
+var ErrDuplicateTask = errors.New("topompc: duplicate task name")
+
+// ErrEmptyTaskName is returned by RegisterTask for a task with no name.
+var ErrEmptyTaskName = errors.New("topompc: task name must not be empty")
+
+// RegisterTask adds a task to the registry. Duplicate names are rejected
+// with ErrDuplicateTask (the first registration wins); empty names with
+// ErrEmptyTaskName. The built-in tasks are registered at init time;
+// callers may add their own.
+func RegisterTask(t Task) error {
+	if t.Name == "" {
+		return ErrEmptyTaskName
+	}
 	if _, dup := taskRegistry[t.Name]; dup {
-		panic(fmt.Sprintf("topompc: task %q registered twice", t.Name))
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.Name)
 	}
 	taskRegistry[t.Name] = t
+	return nil
+}
+
+// mustRegister registers a built-in task, panicking on the programming
+// error of a clashing built-in name.
+func mustRegister(t Task) {
+	if err := RegisterTask(t); err != nil {
+		panic(err)
+	}
 }
 
 // Tasks lists the registered tasks sorted by name.
@@ -134,7 +156,7 @@ func taskNames() []string {
 }
 
 func init() {
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "intersect",
 		Description: "set intersection R ∩ S with TreeIntersect (Algorithm 2)",
 		Kind:        TaskPair,
@@ -146,7 +168,7 @@ func init() {
 			return intersectResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "intersect-baseline",
 		Description: "set intersection with the topology-oblivious uniform hash join",
 		Kind:        TaskPair,
@@ -158,7 +180,7 @@ func init() {
 			return intersectResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:           "cartesian",
 		Description:    "cartesian product R × S (§4 protocols, chosen by topology and sizes)",
 		Kind:           TaskPair,
@@ -187,7 +209,7 @@ func init() {
 			}, nil
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "sort",
 		Description: "distributed sort with weighted TeraSort (§5.2)",
 		Kind:        TaskSingle,
@@ -199,7 +221,31 @@ func init() {
 			return sortResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
+		Name:        "sort-aware",
+		Description: "distributed sort with capacity-weighted splitters (key ranges shrink behind weak cuts)",
+		Kind:        TaskSingle,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.SortAware(in.Data, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sortResult(in, res)
+		},
+	})
+	mustRegister(Task{
+		Name:        "sort-aware-flat",
+		Description: "the identical splitter sort with uniform key ranges (flat baseline for sort-aware)",
+		Kind:        TaskSingle,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.SortAwareBaseline(in.Data, in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sortResult(in, res)
+		},
+	})
+	mustRegister(Task{
 		Name:        "sort-baseline",
 		Description: "distributed sort with classic topology-oblivious TeraSort",
 		Kind:        TaskSingle,
@@ -211,7 +257,7 @@ func init() {
 			return sortResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "join",
 		Description: "binary equi-join R ⋈ S with balanced-partition routing",
 		Kind:        TaskPair,
@@ -223,7 +269,7 @@ func init() {
 			return joinResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "join-baseline",
 		Description: "binary equi-join with the topology-oblivious uniform hash join",
 		Kind:        TaskPair,
@@ -235,7 +281,7 @@ func init() {
 			return joinResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:            "aggregate",
 		Description:     "group-by count with two-level (rack-combining) aggregation",
 		Kind:            TaskSingle,
@@ -248,7 +294,7 @@ func init() {
 			return aggregateResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:            "aggregate-baseline",
 		Description:     "group-by count with single-round uniform hashing",
 		Kind:            TaskSingle,
@@ -261,7 +307,33 @@ func init() {
 			return aggregateResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
+		Name:            "agg-aware",
+		Description:     "group-by count with combiner-tree aggregation (merge once per weak-cut block)",
+		Kind:            TaskSingle,
+		WantsDuplicates: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.AggregateAware(keysToGroups(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return aggregateResult(in, res)
+		},
+	})
+	mustRegister(Task{
+		Name:            "agg-aware-flat",
+		Description:     "group-by count with single-round uniform hashing, no combining (flat baseline for agg-aware)",
+		Kind:            TaskSingle,
+		WantsDuplicates: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.AggregateAwareBaseline(keysToGroups(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return aggregateResult(in, res)
+		},
+	})
+	mustRegister(Task{
 		Name:         "triangle",
 		Description:  "triangle join R⋈S⋈T with the topology-aware HyperCube shuffle",
 		Kind:         TaskMulti,
@@ -279,7 +351,7 @@ func init() {
 			return multijoinTaskResult("triangles", in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:         "triangle-flat",
 		Description:  "triangle join with flat (topology-oblivious) HyperCube",
 		Kind:         TaskMulti,
@@ -297,7 +369,7 @@ func init() {
 			return multijoinTaskResult("triangles", in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:         "starjoin",
 		Description:  "k-way star join with capacity-weighted hashing",
 		Kind:         TaskMulti,
@@ -310,7 +382,7 @@ func init() {
 			return multijoinTaskResult("rows", in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:         "starjoin-flat",
 		Description:  "k-way star join with topology-oblivious uniform hashing",
 		Kind:         TaskMulti,
@@ -323,7 +395,7 @@ func init() {
 			return multijoinTaskResult("rows", in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "cc",
 		Description: "connected components with capacity-homed labels and per-cut combining",
 		Kind:        TaskGraph,
@@ -335,7 +407,7 @@ func init() {
 			return graphTaskResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "cc-flat",
 		Description: "connected components with uniform homes and direct delivery (flat baseline)",
 		Kind:        TaskGraph,
@@ -347,7 +419,7 @@ func init() {
 			return graphTaskResult(in, res)
 		},
 	})
-	RegisterTask(Task{
+	mustRegister(Task{
 		Name:        "spanforest",
 		Description: "spanning forest via witness-tracked label contraction",
 		Kind:        TaskGraph,

@@ -1,6 +1,7 @@
 package topompc
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -111,6 +112,46 @@ func TestRegistryRunsEveryTask(t *testing.T) {
 				t.Fatalf("negative cost %v", res.Cost.Cost)
 			}
 		})
+	}
+}
+
+// TestRegisterTaskDuplicateRejected: a second registration under a taken
+// name returns ErrDuplicateTask and leaves the first registration intact.
+func TestRegisterTaskDuplicateRejected(t *testing.T) {
+	name := "test-dup-task"
+	ran := ""
+	first := Task{Name: name, Kind: TaskSingle, Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+		ran = "first"
+		return &TaskResult{Summary: "first"}, nil
+	}}
+	if err := RegisterTask(first); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	defer delete(taskRegistry, name)
+	dup := Task{Name: name, Kind: TaskSingle, Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+		ran = "second"
+		return &TaskResult{Summary: "second"}, nil
+	}}
+	err := RegisterTask(dup)
+	if !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("duplicate registration: got %v, want ErrDuplicateTask", err)
+	}
+	if !strings.Contains(err.Error(), name) {
+		t.Errorf("error should name the task: %v", err)
+	}
+	// The original task still wins lookups — no silent shadowing.
+	spec, ok := LookupTask(name)
+	if !ok {
+		t.Fatal("task vanished after rejected duplicate")
+	}
+	if _, err := spec.Run(nil, TaskInput{}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != "first" {
+		t.Errorf("lookup resolved to %q registration, want first", ran)
+	}
+	if err := RegisterTask(Task{}); !errors.Is(err, ErrEmptyTaskName) {
+		t.Errorf("empty name: got %v, want ErrEmptyTaskName", err)
 	}
 }
 

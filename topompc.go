@@ -358,6 +358,26 @@ func (c *Cluster) SortBaseline(data [][]uint64, seed uint64) (*SortResult, error
 	})
 }
 
+// SortAware sorts with the capacity-weighted splitter sort: key ranges are
+// apportioned proportionally to each node's bandwidth capacity
+// (place.Capacities via place.Splitters), so nodes behind weak cuts own
+// small ranges and the sorted redistribution stops flooding thin uplinks.
+// Three rounds. Complements Sort (weighted TeraSort), whose lever is the
+// initial data sizes rather than the link bandwidths.
+func (c *Cluster) SortAware(data [][]uint64, seed uint64) (*SortResult, error) {
+	return c.sortWith(data, func(p dataset.Placement) (*sorting.Result, error) {
+		return sorting.CapacitySort(c.t, p, seed, c.exec.netsimOpts()...)
+	})
+}
+
+// SortAwareBaseline runs the identical splitter sort with uniform key
+// ranges, as on a flat network — the controlled baseline for SortAware.
+func (c *Cluster) SortAwareBaseline(data [][]uint64, seed uint64) (*SortResult, error) {
+	return c.sortWith(data, func(p dataset.Placement) (*sorting.Result, error) {
+		return sorting.CapacitySortFlat(c.t, p, seed, c.exec.netsimOpts()...)
+	})
+}
+
 func (c *Cluster) sortWith(data [][]uint64, run func(dataset.Placement) (*sorting.Result, error)) (*SortResult, error) {
 	if err := c.checkFragments("data", data); err != nil {
 		return nil, err
