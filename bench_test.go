@@ -13,6 +13,7 @@ import (
 
 	"topompc/internal/core/cartesian"
 	"topompc/internal/core/intersect"
+	"topompc/internal/core/place"
 	"topompc/internal/core/sorting"
 	"topompc/internal/dataset"
 	"topompc/internal/exper"
@@ -199,7 +200,35 @@ func BenchmarkSubstrateBalancedPartition(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := intersect.BalancedPartition(tr, loads, 400); err != nil {
+		if _, err := place.BalancedPartition(tr, loads, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrateShortTaskFleet times a fleet of short registry tasks
+// on one cluster — the workload that motivated memoizing place.Capacities
+// and place.HierarchyFor on the Tree: every iteration is a full agg-tree2
+// run (hierarchy lookup, capacity-weighted chooser, multi-level up-sweep,
+// scatter, verification) whose placement structure now comes from the
+// per-tree cache instead of being recomputed.
+func BenchmarkSubstrateShortTaskFleet(b *testing.B) {
+	c, err := CaterpillarCluster([]float64{8, 3, 0.5, 3, 8}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	data := make([][]uint64, c.NumNodes())
+	for i := range data {
+		for j := 0; j < 64; j++ {
+			data[i] = append(data[i], uint64(rng.Intn(48)))
+		}
+	}
+	in := TaskInput{Data: data, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunTask("agg-tree2", in); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,9 +1,10 @@
 // Command topoviz inspects the structural constructions of the paper for a
 // topology and load vector: the tree itself, the directed tree G†
 // (Figure 3), the minimum-Σw² minimal cover (Theorem 4), the α/β edge
-// classification and balanced partition (Figure 2), the weak-cut combining
-// blocks and capacity weights of the placement engine, and the square
-// packing of the cartesian product (Figure 4).
+// classification and balanced partition (Figure 2), the placement engine's
+// capacity weights, weak-cut combining blocks, and recursive weak-cut
+// hierarchy (depth, per-level cuts, blocks, and combining-pays marks), and
+// the square packing of the cartesian product (Figure 4).
 //
 // Usage:
 //
@@ -22,7 +23,6 @@ import (
 
 	"topompc/internal/cliutil"
 	"topompc/internal/core/cartesian"
-	"topompc/internal/core/intersect"
 	"topompc/internal/core/place"
 	"topompc/internal/topology"
 )
@@ -38,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		topo     = fs.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, or @file.json")
+		topo     = fs.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, or @file.json")
 		loadsCSV = fs.String("loads", "", "comma-separated N_v per compute node (default: 100 each)")
 		sizeR    = fs.Int64("sizeR", 0, "|R| for the α/β classification (default N/4)")
 	)
@@ -101,18 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "\n== α/β edges for |R| = %d (Figure 2) ==\n", r)
-	classes := intersect.ClassifyEdges(tree, loads, r)
+	classes := place.ClassifyEdges(tree, loads, r)
 	cuts := tree.Cuts(loads)
 	for e := topology.EdgeID(0); int(e) < tree.NumEdges(); e++ {
 		a, b := tree.Endpoints(e)
 		cls := "α"
-		if classes[e] == intersect.Beta {
+		if classes[e] == place.Beta {
 			cls = "β"
 		}
 		fmt.Fprintf(stdout, "  %s—%s: %s (cut min %d)\n", tree.Name(a), tree.Name(b), cls, cuts[e].Min())
 	}
 
-	blocks, err := intersect.BalancedPartition(tree, loads, r)
+	blocks, err := place.BalancedPartition(tree, loads, r)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -126,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "  block %d: {%s}  ΣN_v = %d\n", i+1, strings.Join(names, ", "), w)
 	}
-	if err := intersect.CheckBalanced(tree, loads, r, blocks); err != nil {
+	if err := place.CheckBalanced(tree, loads, r, blocks); err != nil {
 		fmt.Fprintf(stdout, "  Definition 1 check: VIOLATED: %v\n", err)
 	} else {
 		fmt.Fprintln(stdout, "  Definition 1 check: all properties hold")
@@ -156,6 +156,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		fmt.Fprintln(stdout, "  no weak-cut combining plan (no weak edge, or all blocks singletons)")
+	}
+	if h := place.HierarchyFor(tree); h != nil {
+		pays := h.CombinePays(weights)
+		fmt.Fprintf(stdout, "  weak-cut hierarchy: depth %d\n", h.Depth())
+		for k, plan := range h.Levels {
+			fmt.Fprintf(stdout, "    level %d (weak cut: edges below %.4g):\n", k, h.Thresholds[k])
+			for b, members := range plan.Blocks {
+				names := make([]string, len(members))
+				for j, i := range members {
+					names[j] = tree.Name(nodes[i])
+				}
+				note := ""
+				if pays[k][b] {
+					note = "  (combining pays)"
+				}
+				fmt.Fprintf(stdout, "      block %d: {%s}  combiner %s%s\n",
+					b+1, strings.Join(names, ", "), tree.Name(nodes[plan.Combiner[b]]), note)
+			}
+		}
+	} else {
+		fmt.Fprintln(stdout, "  weak-cut hierarchy: none (bandwidth-uniform within a factor 2)")
 	}
 
 	fmt.Fprintln(stdout, "\n== cartesian square packing (Figure 4 / Algorithm 5) ==")

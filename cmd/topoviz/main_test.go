@@ -27,6 +27,38 @@ func TestRunWritesAllSections(t *testing.T) {
 	}
 }
 
+// TestRunHierarchySection: the default twotier (graded 4/2/1 uplinks) has
+// a depth-2 weak-cut hierarchy, and the placement section must print
+// every level with its cut threshold, blocks, and combiners.
+func TestRunHierarchySection(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-topo", "twotier"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "weak-cut hierarchy: depth 2") {
+		t.Errorf("output missing hierarchy depth:\n%s", s)
+	}
+	for _, want := range []string{
+		"level 0 (weak cut: edges below 2)",
+		"level 1 (weak cut: edges below 4)",
+		"(combining pays)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// A bandwidth-uniform topology reports no hierarchy instead.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-topo", "star:4x2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "weak-cut hierarchy: none") {
+		t.Errorf("uniform star should report no hierarchy:\n%s", out.String())
+	}
+}
+
 func TestRunCombiningBlocksOnSkewedTopo(t *testing.T) {
 	// The default twotier has uniform uplinks; the caterpillar fixture has
 	// weak spine ends and must print an actual combining plan.

@@ -46,13 +46,28 @@ func (c *Cluster) AggregateBaseline(data [][]GroupValue, seed uint64) (*Aggregat
 	})
 }
 
-// AggregateAware computes per-group totals with combiner-tree aggregation:
-// partial aggregates merge once per weak-cut block (place.CombinerBlocks)
-// before anything crosses a weak link, then the merged block partials are
-// hashed to capacity-weighted group homes. At most two rounds; degrades to
-// one round of capacity-weighted hashing when the topology has no weak
-// cut.
+// AggregateAware computes per-group totals with single-level combiner-tree
+// aggregation: partial aggregates merge once per weak-cut block
+// (place.CombinerBlocks) before anything crosses a weak link, then the
+// merged block partials are hashed to capacity-weighted group homes. At
+// most two rounds; degrades to one round of capacity-weighted hashing when
+// the topology has no weak cut. AggregateMultiLevel generalizes it to the
+// full weak-cut hierarchy.
 func (c *Cluster) AggregateAware(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
+	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
+		return aggregate.CombinerTreeSingle(c.t, p, seed, c.exec.netsimOpts()...)
+	})
+}
+
+// AggregateMultiLevel computes per-group totals with the recursive
+// combiner tree: partial aggregates merge once per block per level of the
+// weak-cut hierarchy (place.HierarchyFor), deepest level first, before the
+// merged partials are hashed to capacity-weighted group homes. On deep
+// bandwidth gradients (tapered fat-trees, graded caterpillars) every tier
+// dedupes its cut's traffic; on single-band topologies it coincides with
+// AggregateAware, and with no weak cut at all it degrades to one round of
+// capacity-weighted hashing.
+func (c *Cluster) AggregateMultiLevel(data [][]GroupValue, seed uint64) (*AggregateResult, error) {
 	return c.aggregateWith(data, func(p aggregate.Placement) (*aggregate.Result, error) {
 		return aggregate.CombinerTree(c.t, p, seed, c.exec.netsimOpts()...)
 	})

@@ -166,6 +166,35 @@ func TestGoldenPlaceAwareVsFlat(t *testing.T) {
 	}
 }
 
+// TestGoldenHierarchyBeatsSingleLevel pins the recursive weak-cut
+// hierarchy on the golden fixtures: the multi-level combiner tree
+// (agg-tree2) must strictly beat the single-level combiner tree
+// (agg-aware) on the deep-gradient fixtures — the tapered fat-tree and the
+// graded caterpillar, where the hierarchy has depth 2 and partials merge
+// per pod/half before crossing the thin core — and must stay within 1.05×
+// of it everywhere else (single-band fixtures have depth-≤1 hierarchies,
+// where the two protocols coincide by construction). Both tasks run on
+// the same input, so the ratio isolates the extra hierarchy levels.
+func TestGoldenHierarchyBeatsSingleLevel(t *testing.T) {
+	deep := map[string]bool{"fattree-taper": true, "caterpillar-grade": true}
+	for _, topo := range fixtureTopos {
+		for _, place := range fixturePlacements {
+			t.Run(fmt.Sprintf("%s/%s", topo.Name, place), func(t *testing.T) {
+				multi, single := runPair(t, "agg-tree2", "agg-aware", topo.Name, place)
+				if deep[topo.Name] {
+					if multi >= single {
+						t.Errorf("multi-level cost %.1f not below single-level %.1f", multi, single)
+					} else {
+						t.Logf("ratio %.3f (multi %.1f / single %.1f)", multi/single, multi, single)
+					}
+				} else if single > 0 && multi > single*1.05 {
+					t.Errorf("multi-level cost %.1f exceeds 1.05× single-level %.1f on depth-≤1 topology", multi, single)
+				}
+			})
+		}
+	}
+}
+
 // runPair executes an aware task and its flat counterpart on the same
 // fixture input and returns both costs.
 func runPair(t *testing.T, aware, flat, topo, place string) (awareCost, flatCost float64) {

@@ -29,8 +29,9 @@ type ComponentsResult struct {
 	Forest []GraphEdge
 	// Phases is the number of label-contraction phases executed.
 	Phases int
-	// Strategy identifies the protocol path ("aware", "aware+combine",
-	// "flat").
+	// Strategy identifies the protocol path: "flat", "aware" (capacity
+	// homes, direct delivery), or "aware+combine×L" with L the number of
+	// hierarchy levels whose blocks merge label exchanges.
 	Strategy string
 	// Cost is the execution cost against the per-cut connectivity
 	// information bound (lowerbound.Connectivity).

@@ -13,8 +13,13 @@ import (
 )
 
 // fixtureTopos is the fixed topology zoo of the golden harness: a uniform
-// star, a two-tier tree with 16:1 skewed uplinks, a symmetric fat-tree,
-// and a caterpillar with weak spine ends.
+// star, a two-tier tree with 16:1 skewed uplinks, a symmetric fat-tree, a
+// caterpillar with weak spine ends, and two deep-gradient shapes for the
+// weak-cut hierarchy — a tapered fat-tree (thin core: pods behind 2.56×
+// links, racks behind 6.4×, leaves at 16) and a graded caterpillar whose
+// spine weakens toward a 0.5× middle cut. The first four have single-band
+// hierarchies (depth ≤ 1), so their entries pin the flat decomposition;
+// the last two have depth-2 hierarchies and pin the multi-level levers.
 var fixtureTopos = []struct {
 	Name  string
 	Build func() (*topompc.Cluster, error)
@@ -30,6 +35,12 @@ var fixtureTopos = []struct {
 	}},
 	{"caterpillar", func() (*topompc.Cluster, error) {
 		return topompc.CaterpillarCluster([]float64{1, 2, 4, 2, 1}, 4)
+	}},
+	{"fattree-taper", func() (*topompc.Cluster, error) {
+		return topompc.FatTreeCluster(3, 2, 16, 0.25)
+	}},
+	{"caterpillar-grade", func() (*topompc.Cluster, error) {
+		return topompc.CaterpillarCluster([]float64{8, 3, 0.5, 3, 8}, 8)
 	}},
 }
 

@@ -16,11 +16,13 @@ import (
 
 // ParseTopo resolves a topology argument:
 //
-//	star:PxW      star with P compute nodes, bandwidth W each
-//	twotier       4+4+4 nodes behind 4/2/1 uplinks
-//	fattree       2-level fanout-3 fat tree
-//	caterpillar   5-spine caterpillar
-//	@file.json    a topology.Spec JSON file
+//	star:PxW           star with P compute nodes, bandwidth W each
+//	twotier            4+4+4 nodes behind 4/2/1 uplinks
+//	fattree            2-level fanout-3 fat tree
+//	caterpillar        5-spine caterpillar
+//	fattree-taper      3-level tapered fat tree (thin core; depth-2 hierarchy)
+//	caterpillar-grade  graded caterpillar (0.5× middle cut; depth-2 hierarchy)
+//	@file.json         a topology.Spec JSON file
 //
 // File specs are validated up front — empty node lists, missing compute
 // nodes, unknown endpoints, self-loops, duplicate links, bad bandwidths —
@@ -66,6 +68,14 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 		return topology.FatTree(2, 3, 2, 3)
 	case spec == "caterpillar":
 		return topology.Caterpillar([]float64{1, 2, 4, 2, 1}, 4)
+	case spec == "fattree-taper":
+		// Tapered (oversubscribed) fat-tree: thin core links, depth-2
+		// weak-cut hierarchy (pods then racks).
+		return topology.FatTree(3, 2, 16, 0.25)
+	case spec == "caterpillar-grade":
+		// Graded caterpillar: the spine weakens toward a 0.5× middle cut,
+		// depth-2 weak-cut hierarchy (halves then pairs).
+		return topology.Caterpillar([]float64{8, 3, 0.5, 3, 8}, 8)
 	default:
 		return nil, fmt.Errorf("unknown topology %q", spec)
 	}

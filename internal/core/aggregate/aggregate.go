@@ -17,7 +17,7 @@
 //
 // where spanning(e) counts the groups present on both sides of the cut.
 //
-// Three strategies are provided:
+// The strategies provided:
 //
 //   - Hash: one round; groups are hashed (weighted by local group counts)
 //     to target nodes, which combine. Simple but pays once per (node,
@@ -27,6 +27,10 @@
 //     hashed globally. Bottleneck uplinks then carry each group at most
 //     once per block instead of once per node.
 //   - Gather: all pairs to one node.
+//   - CombinerTree / CombinerTreeSingle (combiner.go): the place-engine
+//     trees — partials merge along the weak-cut hierarchy (once per block
+//     per level, or once per flat block) before hashing to
+//     capacity-weighted homes.
 //
 // No asymptotic optimality is claimed for the extension; the E-series
 // experiment X1 reports measured ratios.

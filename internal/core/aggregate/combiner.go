@@ -1,6 +1,8 @@
 package aggregate
 
 import (
+	"fmt"
+
 	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
@@ -8,22 +10,109 @@ import (
 )
 
 // tagUp carries partial aggregates from a block member to its block
-// combiner (round 1 of CombinerTree). Note that collect reads the final
-// round's inbox untagged — the engine swaps inboxes every round, so the
-// up-phase deliveries are gone by collection time; the distinct tag is
-// for guarding the combiners' own round-1 reads. The scatter to the group
-// homes must therefore stay the last round of every strategy.
+// combiner (the up-sweep rounds of the combiner trees). Note that collect
+// reads the final round's inbox untagged — the engine swaps inboxes every
+// round, so the up-phase deliveries are gone by collection time; the
+// distinct tag is for guarding the combiners' own up-round reads. The
+// scatter to the group homes must therefore stay the last round of every
+// strategy.
 const tagUp netsim.Tag = 30
 
-// CombinerTree is the topology-aware aggregation enabled by the place
-// engine: partial aggregates merge once per weak-cut block before anything
-// crosses a weak link. The compute nodes are partitioned into the blocks
-// of place.CombinerBlocks (connected components after removing weak
-// edges); round 1 merges the members' partials at the block combiner over
-// strong intra-block links, round 2 hashes the merged block partials to
-// global group homes chosen with capacity weights (place.Capacities), so
-// each group crosses a weak cut at most once per block — and rarely even
-// that, since weak nodes host few homes.
+// CombinerTree is the topology-aware aggregation on the recursive
+// weak-cut hierarchy (place.HierarchyFor): partial aggregates merge once
+// per block per hierarchy level before crossing that level's cut. The
+// up-sweep runs one round per hierarchy level with a paying block
+// (place.Hierarchy.UpSweep), deepest level first: members of each paying
+// block push their accumulated partials to the block combiner over the
+// block's strong internal links, so by the time a payload crosses a
+// level's weak cut it carries one partial per group per block. The final
+// round hashes whatever each node still holds to global group homes
+// chosen with capacity weights (place.Capacities).
+//
+// On a single-band topology (two-tier, caterpillar with one weak class)
+// the hierarchy has depth 1 and the protocol coincides with
+// CombinerTreeSingle; on deep bandwidth gradients (tapered fat-trees,
+// graded caterpillars) the extra levels dedupe the traffic crossing every
+// tier, not just the weakest. When no block pays anywhere the protocol
+// degrades to a single round of capacity-weighted hashing.
+func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	in, err := newInstance(t, data)
+	if err != nil {
+		return nil, err
+	}
+	weights := place.Capacities(t) // strictly positive by contract
+	global, err := chooserFor(hashing.Mix64(seed+0xa66), weights)
+	if err != nil {
+		return nil, err
+	}
+
+	var steps []place.UpStep
+	if h := place.HierarchyFor(t); h != nil {
+		steps = h.UpSweep(weights)
+	}
+
+	e := netsim.NewEngine(t, opts...)
+	partials := in.local
+	strategy := "capacity-hash"
+	if len(steps) > 0 {
+		strategy = fmt.Sprintf("combiner-tree×%d", len(steps))
+		// Up-sweep: one round per engaged level, deepest first. state[i]
+		// is the partials node i still carries; senders forward it whole,
+		// combiners merge what arrives into their own.
+		state := make([]map[uint64]int64, len(in.nodes))
+		copy(state, in.local)
+		for _, st := range steps {
+			x := e.Exchange()
+			x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
+				i := indexOf(in.nodes, v)
+				if st.Target[i] != i && len(state[i]) > 0 {
+					out.Send(in.nodes[st.Target[i]], tagUp, partialMsg(state[i], sortedGroups(state[i])))
+				}
+			})
+			x.Execute()
+			next := make([]map[uint64]int64, len(in.nodes))
+			for i, v := range in.nodes {
+				if st.Target[i] != i {
+					continue // forwarded; nothing left to carry
+				}
+				m := state[i]
+				merged := false
+				for _, msg := range e.Inbox(v) {
+					if msg.Tag != tagUp {
+						continue
+					}
+					if !merged {
+						// Clone before merging: state may alias in.local.
+						c := make(map[uint64]int64, len(m))
+						for g, val := range m {
+							c[g] = val
+						}
+						m = c
+						merged = true
+					}
+					decodePartials(m, msg.Keys)
+				}
+				next[i] = m
+			}
+			state = next
+		}
+		partials = state
+	}
+
+	// Final round: hash the (block-merged) partials to their global homes.
+	scatterPartials(e, in, global, partials)
+	return collect(e, in, strategy), nil
+}
+
+// CombinerTreeSingle is the single-level combiner tree of the flat
+// CombinerBlocks decomposition — the hierarchy truncated to its deepest
+// level. The compute nodes are partitioned into the blocks of
+// place.CombinerBlocks (connected components after removing weak edges);
+// round 1 merges the members' partials at the block combiner over strong
+// intra-block links, round 2 hashes the merged block partials to global
+// group homes chosen with capacity weights, so each group crosses a weak
+// cut at most once per block — and rarely even that, since weak nodes
+// host few homes.
 //
 // Combining only engages for the minority-capacity blocks
 // (place.BlockPlan.MinorityBlocks): a multi-member block holding most of
@@ -32,8 +121,9 @@ const tagUp netsim.Tag = 30
 // on a caterpillar, the strong middle block hashes directly while a
 // weak rack on a two-tier tree still merges before its thin uplink. When
 // no block qualifies the protocol degrades to a single round of
-// capacity-weighted hashing.
-func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+// capacity-weighted hashing. It is kept as the ablation baseline the
+// multi-level CombinerTree is measured against (X7, golden harness).
+func CombinerTreeSingle(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -107,11 +197,11 @@ func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.
 	return collect(e, in, strategy), nil
 }
 
-// HashFlat is the topology-oblivious counterpart of CombinerTree: a single
-// round of uniform hashing with no block combining, as on a flat network —
-// the same chooser seed, so on symmetric topologies (where capacities are
-// uniform and no combining plan exists) the two protocols coincide and the
-// combiner-tree levers can be measured in isolation.
+// HashFlat is the topology-oblivious counterpart of the combiner trees: a
+// single round of uniform hashing with no block combining, as on a flat
+// network — the same chooser seed, so on symmetric topologies (where
+// capacities are uniform and no combining plan exists) the protocols
+// coincide and the combiner-tree levers can be measured in isolation.
 func HashFlat(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {

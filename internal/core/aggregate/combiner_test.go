@@ -66,11 +66,72 @@ func TestCombinerTreeStrategySelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Strategy != "combiner-tree" {
-		t.Errorf("skewed two-tier strategy = %s, want combiner-tree", res.Strategy)
+	if res.Strategy != "combiner-tree×1" {
+		t.Errorf("skewed two-tier strategy = %s, want combiner-tree×1", res.Strategy)
 	}
 	if res.Report.NumRounds() != 2 {
 		t.Errorf("combiner-tree rounds = %d, want 2", res.Report.NumRounds())
+	}
+	single, err := CombinerTreeSingle(skew, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Strategy != "combiner-tree" {
+		t.Errorf("single-level strategy = %s, want combiner-tree", single.Strategy)
+	}
+	// The skewed two-tier has a depth-1 hierarchy, so the multi-level tree
+	// must reproduce the single-level protocol cost-exactly.
+	if got, want := res.Report.TotalCost(), single.Report.TotalCost(); got != want {
+		t.Errorf("depth-1 multi-level cost %.3f != single-level cost %.3f", got, want)
+	}
+}
+
+// TestCombinerTreeMultiLevelBeatsSingle: on deep bandwidth gradients —
+// a tapered fat-tree (thin core) and a graded caterpillar — the recursive
+// combiner tree must merge at every tier and strictly beat the
+// single-level (CombinerBlocks) tree, which only merges at the finest
+// blocks. Both must still verify and dominate the exact bound.
+func TestCombinerTreeMultiLevelBeatsSingle(t *testing.T) {
+	taper, err := topology.FatTree(3, 2, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grade, err := topology.Caterpillar([]float64{8, 3, 0.5, 3, 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range map[string]*topology.Tree{"fattree-taper": taper, "caterpillar-grade": grade} {
+		t.Run(name, func(t *testing.T) {
+			p := tr.NumCompute()
+			data := make(Placement, p)
+			for i := 0; i < p; i++ {
+				for g := 0; g < 150; g++ {
+					data[i] = append(data[i], Pair{Group: uint64(g), Value: 1})
+				}
+			}
+			multi, err := CombinerTree(tr, data, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := CombinerTreeSingle(tr, data, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vname, res := range map[string]*Result{"multi": multi, "single": single} {
+				if err := Verify(data, res); err != nil {
+					t.Fatalf("%s: %v", vname, err)
+				}
+			}
+			mc, sc := multi.Report.TotalCost(), single.Report.TotalCost()
+			if mc >= sc {
+				t.Errorf("multi-level cost %.1f should beat single-level cost %.1f", mc, sc)
+			} else {
+				t.Logf("multi %.1f vs single %.1f (win %.2fx)", mc, sc, sc/mc)
+			}
+			if lb := LowerBound(tr, data); mc < lb*(1-1e-9) {
+				t.Errorf("multi-level cost %.2f below lower bound %.2f", mc, lb)
+			}
+		})
 	}
 }
 

@@ -1,7 +1,7 @@
 package aggregate
 
 import (
-	"topompc/internal/core/intersect"
+	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/topology"
@@ -145,7 +145,7 @@ func blocksByGroups(t *topology.Tree, in *instance) [][]topology.NodeID {
 	if threshold == 0 {
 		threshold = 1
 	}
-	blocks, err := intersect.BalancedPartition(t, loads, threshold)
+	blocks, err := place.BalancedPartition(t, loads, threshold)
 	if err != nil || len(blocks) == 0 {
 		return [][]topology.NodeID{append([]topology.NodeID(nil), in.nodes...)}
 	}

@@ -72,12 +72,16 @@ func upd(m map[uint64]prop, a uint64, p prop) {
 // proto is the driver state of one protocol run. Everything is indexed by
 // compute index (position in ComputeNodes).
 type proto struct {
-	t       *topology.Tree
-	e       *netsim.Engine
-	nodes   []topology.NodeID
-	idx     map[topology.NodeID]int
-	home    func(uint64) int
-	plan    *place.BlockPlan // nil = direct delivery
+	t     *topology.Tree
+	e     *netsim.Engine
+	nodes []topology.NodeID
+	idx   map[topology.NodeID]int
+	home  func(uint64) int
+	// steps is the multi-level combining schedule (place.Hierarchy.UpSweep,
+	// deepest level first); empty = direct delivery. Each register/propose
+	// exchange runs the sweep so payloads merge once per block per level
+	// where combining pays, and lookups run it up and back down.
+	steps   []place.UpStep
 	witness bool
 
 	active  [][]workEdge        // contracted edges held locally
@@ -112,28 +116,40 @@ func (pr *proto) sendByHome(out *netsim.Outbox, tag netsim.Tag, groups map[int][
 }
 
 // register hashes every distinct local vertex to its home, which
-// initializes the vertex's label to itself. With a combining plan the
-// vertex sets are first unioned at the block combiner, so a vertex
-// appearing in many members' fragments crosses the block boundary once.
+// initializes the vertex's label to itself. With a combining schedule the
+// vertex sets are first unioned along the hierarchy's paying blocks
+// (deepest level first), so a vertex appearing in many members' fragments
+// crosses each engaged cut once per block.
 func (pr *proto) register(verts []map[uint64]bool) {
 	send := verts
-	if pr.plan != nil {
+	for _, st := range pr.steps {
+		st := st
 		pr.round(func(i int, out *netsim.Outbox) {
-			if batch := sortedKeys(verts[i]); len(batch) > 0 {
-				out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagVertexUp, batch)
+			if st.Target[i] == i {
+				return
+			}
+			if batch := sortedKeys(send[i]); len(batch) > 0 {
+				out.Send(pr.nodes[st.Target[i]], tagVertexUp, batch)
 			}
 		})
 		merged := make([]map[uint64]bool, len(pr.nodes))
 		for i, v := range pr.nodes {
-			merged[i] = make(map[uint64]bool)
-			for _, m := range pr.e.Inbox(v) {
-				if m.Tag != tagVertexUp {
+			if st.Target[i] != i {
+				merged[i] = make(map[uint64]bool) // forwarded up
+				continue
+			}
+			// Carriers keep their set and union in what arrived. verts is
+			// owned by run and not reused, so merging in place is safe.
+			m := send[i]
+			for _, msg := range pr.e.Inbox(v) {
+				if msg.Tag != tagVertexUp {
 					continue
 				}
-				for _, x := range m.Keys {
-					merged[i][x] = true
+				for _, x := range msg.Keys {
+					m[x] = true
 				}
 			}
+			merged[i] = m
 		}
 		send = merged
 	}
@@ -193,9 +209,9 @@ func decodePropsInto(dst map[uint64]prop, keys []uint64, witness bool) {
 }
 
 // propose turns every active edge into min-neighbor proposals for both
-// endpoint labels, min-combines them locally (and per block under a
-// combining plan), delivers them to the label homes, and min-merges them
-// into pr.best.
+// endpoint labels, min-combines them locally (and per block per level
+// under a combining schedule), delivers them to the label homes, and
+// min-merges them into pr.best.
 func (pr *proto) propose() {
 	local := make([]map[uint64]prop, len(pr.nodes))
 	for i := range pr.nodes {
@@ -206,16 +222,21 @@ func (pr *proto) propose() {
 		}
 		local[i] = m
 	}
-	if pr.plan != nil {
+	for _, st := range pr.steps {
+		st := st
 		pr.round(func(i int, out *netsim.Outbox) {
-			if len(local[i]) > 0 {
-				out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagProposeUp,
+			if st.Target[i] != i && len(local[i]) > 0 {
+				out.Send(pr.nodes[st.Target[i]], tagProposeUp,
 					encodeProps(local[i], pr.witness))
 			}
 		})
 		merged := make([]map[uint64]prop, len(pr.nodes))
 		for i, v := range pr.nodes {
-			merged[i] = make(map[uint64]prop)
+			if st.Target[i] != i {
+				merged[i] = make(map[uint64]prop) // forwarded up
+				continue
+			}
+			merged[i] = local[i] // scratch maps; min-merge in place
 			for _, m := range pr.e.Inbox(v) {
 				if m.Tag == tagProposeUp {
 					decodePropsInto(merged[i], m.Keys, pr.witness)
@@ -348,9 +369,12 @@ func (pr *proto) jump(unresolved int) error {
 // lookups fetches the phase roots every node needs — the endpoint labels
 // of its active edges plus the current labels of its homed vertices — and
 // returns the per-node label → root maps. Direct mode is a query/reply
-// pair; under a combining plan, queries are deduplicated at the block
-// combiner before crossing the block boundary and replies fan back out
-// through it, so a hot label's root crosses each weak cut once per block.
+// pair; under a combining schedule, queries are deduplicated along the
+// hierarchy (each engaged level's combiner unions its members' needs
+// before they cross that level's cut), the top carriers query the homes
+// once per distinct label, and the answers fan back down the same chain,
+// so a hot label's root crosses each engaged cut once per block per
+// level.
 func (pr *proto) lookups() []map[uint64]uint64 {
 	needs := make([]map[uint64]bool, len(pr.nodes))
 	for i := range pr.nodes {
@@ -365,7 +389,7 @@ func (pr *proto) lookups() []map[uint64]uint64 {
 		needs[i] = nd
 	}
 
-	if pr.plan == nil {
+	if len(pr.steps) == 0 {
 		pr.round(func(i int, out *netsim.Outbox) {
 			groups := make(map[int][]uint64)
 			for _, a := range sortedKeys(needs[i]) {
@@ -377,68 +401,87 @@ func (pr *proto) lookups() []map[uint64]uint64 {
 		return pr.collectRoots(tagLookupA)
 	}
 
-	// A: members push their needs to the block combiner.
-	pr.round(func(i int, out *netsim.Outbox) {
-		if batch := sortedKeys(needs[i]); len(batch) > 0 {
-			out.Send(pr.nodes[pr.plan.Combiner[pr.plan.BlockOf[i]]], tagLookupUp, batch)
-		}
-	})
+	// Up-sweep: members push their needs one level at a time; each engaged
+	// combiner records who asked for what (to fan the answers back) and
+	// carries the union upward.
 	type memberNeed struct {
 		from   topology.NodeID
 		labels []uint64
 	}
-	perMember := make([][]memberNeed, len(pr.nodes))
-	union := make([]map[uint64]bool, len(pr.nodes))
-	for i, v := range pr.nodes {
-		union[i] = make(map[uint64]bool)
-		for _, m := range pr.e.Inbox(v) {
-			if m.Tag != tagLookupUp {
+	perStep := make([][][]memberNeed, len(pr.steps))
+	carry := needs
+	for s, st := range pr.steps {
+		st := st
+		pr.round(func(i int, out *netsim.Outbox) {
+			if st.Target[i] == i {
+				return
+			}
+			if batch := sortedKeys(carry[i]); len(batch) > 0 {
+				out.Send(pr.nodes[st.Target[i]], tagLookupUp, batch)
+			}
+		})
+		perStep[s] = make([][]memberNeed, len(pr.nodes))
+		next := make([]map[uint64]bool, len(pr.nodes))
+		for i, v := range pr.nodes {
+			if st.Target[i] != i {
+				next[i] = make(map[uint64]bool) // forwarded up
 				continue
 			}
-			perMember[i] = append(perMember[i], memberNeed{from: m.From, labels: m.Keys})
-			for _, a := range m.Keys {
-				union[i][a] = true
+			m := carry[i]
+			for _, msg := range pr.e.Inbox(v) {
+				if msg.Tag != tagLookupUp {
+					continue
+				}
+				perStep[s][i] = append(perStep[s][i], memberNeed{from: msg.From, labels: msg.Keys})
+				for _, a := range msg.Keys {
+					m[a] = true
+				}
 			}
+			next[i] = m
 		}
+		carry = next
 	}
-	// B: combiners query the homes once per distinct label.
+
+	// Top carriers query the homes once per distinct label; homes reply.
 	pr.round(func(i int, out *netsim.Outbox) {
 		groups := make(map[int][]uint64)
-		for _, a := range sortedKeys(union[i]) {
+		for _, a := range sortedKeys(carry[i]) {
 			groups[pr.home(a)] = append(groups[pr.home(a)], a)
 		}
 		pr.sendByHome(out, tagLookupQ, groups)
 	})
-	// C: homes reply to the combiners.
 	pr.replyLookups()
-	rootAt := make([]map[uint64]uint64, len(pr.nodes))
-	for i, v := range pr.nodes {
-		rootAt[i] = make(map[uint64]uint64)
-		for _, m := range pr.e.Inbox(v) {
-			if m.Tag != tagLookupA {
-				continue
+	rootAt := pr.collectRoots(tagLookupA)
+
+	// Down-sweep, coarsest level first: combiners answer each recorded
+	// member exactly what it asked for, so deeper combiners hold their
+	// roots before answering their own members.
+	for s := len(pr.steps) - 1; s >= 0; s-- {
+		pr.round(func(j int, out *netsim.Outbox) {
+			for _, mn := range perStep[s][j] {
+				reply := make([]uint64, 0, 2*len(mn.labels))
+				for _, a := range mn.labels {
+					if r, ok := rootAt[j][a]; ok {
+						reply = append(reply, a, r)
+					}
+				}
+				if len(reply) > 0 {
+					out.Send(mn.from, tagLookupDown, reply)
+				}
 			}
-			for k := 0; k+1 < len(m.Keys); k += 2 {
-				rootAt[i][m.Keys[k]] = m.Keys[k+1]
+		})
+		for i, v := range pr.nodes {
+			for _, m := range pr.e.Inbox(v) {
+				if m.Tag != tagLookupDown {
+					continue
+				}
+				for k := 0; k+1 < len(m.Keys); k += 2 {
+					rootAt[i][m.Keys[k]] = m.Keys[k+1]
+				}
 			}
 		}
 	}
-	// D: combiners fan the answers back out, each member exactly what it
-	// asked for.
-	pr.round(func(i int, out *netsim.Outbox) {
-		for _, mn := range perMember[i] {
-			reply := make([]uint64, 0, 2*len(mn.labels))
-			for _, a := range mn.labels {
-				if r, ok := rootAt[i][a]; ok {
-					reply = append(reply, a, r)
-				}
-			}
-			if len(reply) > 0 {
-				out.Send(mn.from, tagLookupDown, reply)
-			}
-		}
-	})
-	return pr.collectRoots(tagLookupDown)
+	return rootAt
 }
 
 // replyLookups plans the home side of a lookup round: answer every queried
@@ -542,11 +585,13 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 	}
 
 	strategy := "flat"
-	var plan *place.BlockPlan
+	var steps []place.UpStep
 	if aware {
 		strategy = "aware"
-		if plan = place.CombinerBlocks(tr, weights); plan != nil {
-			strategy = "aware+combine"
+		if h := place.HierarchyFor(tr); h != nil {
+			if steps = h.UpSweep(weights); len(steps) > 0 {
+				strategy = fmt.Sprintf("aware+combine×%d", len(steps))
+			}
 		}
 	}
 
@@ -556,7 +601,7 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		nodes:   nodes,
 		idx:     idx,
 		home:    chooser.Choose,
-		plan:    plan,
+		steps:   steps,
 		witness: witness,
 		active:  make([][]workEdge, p),
 		labelOf: make([]map[uint64]uint64, p),

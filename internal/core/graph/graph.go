@@ -27,11 +27,15 @@
 //     rest of the tree, so label state concentrates inside well-connected
 //     subtrees and hot labels are not owned by nodes behind weak uplinks.
 //   - Per-cut combining: the compute nodes are partitioned into the
-//     weak-cut blocks of place.CombinerBlocks, and every label exchange
-//     (vertex registration, per-edge label proposals, root lookups) is
-//     first combined at a block-local combiner node before crossing the
-//     block boundary. Duplicate (vertex → label) updates for a hot label
-//     then cross each weak cut once per block instead of once per node.
+//     recursive weak-cut hierarchy of place.HierarchyFor, and every label
+//     exchange (vertex registration, per-edge label proposals, root
+//     lookups) is combined at the block combiners of each hierarchy level
+//     where the pays-off test (place.Hierarchy.CombinePays) holds, before
+//     crossing that level's cut — root lookups fan back down the same
+//     chain. Duplicate (vertex → label) updates for a hot label then
+//     cross each engaged cut once per block instead of once per node,
+//     and blocks where combining cannot pay (majority-capacity regions,
+//     singletons) skip the merge rounds entirely.
 //
 // The flat baseline hashes vertices uniformly and sends every update
 // directly, as on a flat network. Both variants execute the identical
@@ -101,8 +105,9 @@ type Result struct {
 	Forest []Edge
 	// Phases is the number of contraction phases executed.
 	Phases int
-	// Strategy identifies the protocol path ("aware", "aware+combine",
-	// "flat").
+	// Strategy identifies the protocol path: "flat", "aware" (capacity
+	// homes, direct delivery), or "aware+combine×L" with L the number of
+	// hierarchy levels whose blocks combine the label exchanges.
 	Strategy string
 	// Report is the cost accounting.
 	Report *netsim.Report

@@ -324,95 +324,6 @@ func TestTreeIntersectCostEnvelope(t *testing.T) {
 	}
 }
 
-func TestBalancedPartitionProperties(t *testing.T) {
-	rng := rand.New(rand.NewSource(10))
-	for iter := 0; iter < 150; iter++ {
-		tr, err := topology.Random(rng, 2+rng.Intn(8), 1+rng.Intn(5), 1, 8)
-		if err != nil {
-			t.Fatal(err)
-		}
-		loads := make(topology.Loads, tr.NumNodes())
-		var total int64
-		for _, v := range tr.ComputeNodes() {
-			loads[v] = int64(rng.Intn(400))
-			total += loads[v]
-		}
-		if total == 0 {
-			continue
-		}
-		sizeR := 1 + int64(rng.Intn(int(total)))
-		blocks, err := BalancedPartition(tr, loads, sizeR)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := CheckBalanced(tr, loads, sizeR, blocks); err != nil {
-			t.Fatalf("iter %d (|R|=%d): %v\n%s", iter, sizeR, err, tr)
-		}
-	}
-}
-
-func TestBalancedPartitionSingleBlockWithoutBeta(t *testing.T) {
-	// |R| larger than every cut: all edges are α, single block.
-	tr, _ := topology.UniformStar(4, 1)
-	loads, _ := tr.ComputeLoads([]int64{10, 10, 10, 10})
-	blocks, err := BalancedPartition(tr, loads, 35)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(blocks) != 1 || len(blocks[0]) != 4 {
-		t.Fatalf("blocks = %v, want single full block", blocks)
-	}
-}
-
-func TestBalancedPartitionFigure2Style(t *testing.T) {
-	// A tree engineered to have several β-edges and clear α-regions, in the
-	// spirit of Figure 2: three rack-like clusters with heavy uplinks.
-	tr, err := topology.TwoTier([]int{3, 3, 3}, []float64{1, 1, 1}, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	loads, _ := tr.ComputeLoads([]int64{40, 40, 40, 40, 40, 40, 40, 40, 40})
-	sizeR := int64(50) // rack weight 120 ≥ |R|, so uplinks are β-edges
-	classes := ClassifyEdges(tr, loads, sizeR)
-	betaCount := 0
-	for _, c := range classes {
-		if c == Beta {
-			betaCount++
-		}
-	}
-	if betaCount == 0 {
-		t.Fatal("expected β-edges in this construction")
-	}
-	blocks, err := BalancedPartition(tr, loads, sizeR)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := CheckBalanced(tr, loads, sizeR, blocks); err != nil {
-		t.Fatal(err)
-	}
-	if len(blocks) < 2 {
-		t.Errorf("expected a non-trivial partition, got %d block(s)", len(blocks))
-	}
-}
-
-func TestClassifyEdges(t *testing.T) {
-	tr, _ := topology.UniformStar(3, 1)
-	loads, _ := tr.ComputeLoads([]int64{100, 100, 100})
-	classes := ClassifyEdges(tr, loads, 50)
-	// Every leaf cut is min(100, 200) = 100 ≥ 50: all β.
-	for e, c := range classes {
-		if c != Beta {
-			t.Errorf("edge %d: class = %v, want Beta", e, c)
-		}
-	}
-	classes = ClassifyEdges(tr, loads, 150)
-	for e, c := range classes {
-		if c != Alpha {
-			t.Errorf("edge %d: class = %v, want Alpha", e, c)
-		}
-	}
-}
-
 // TestIntersectQuick property-tests correctness of TreeIntersect over
 // random shapes, sizes and placements.
 func TestIntersectQuick(t *testing.T) {

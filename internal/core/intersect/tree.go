@@ -3,6 +3,7 @@ package intersect
 import (
 	"fmt"
 
+	"topompc/internal/core/place"
 	"topompc/internal/dataset"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
@@ -40,7 +41,7 @@ func treeWithBlocks(t *topology.Tree, r, s dataset.Placement, seed uint64, block
 		return in.emptyResult(), nil
 	}
 	if blocks == nil {
-		blocks, err = BalancedPartition(t, in.loads, in.size0)
+		blocks, err = place.BalancedPartition(t, in.loads, in.size0)
 		if err != nil {
 			return nil, err
 		}

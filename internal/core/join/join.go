@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"sort"
 
-	"topompc/internal/core/intersect"
 	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
@@ -174,7 +173,7 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.Option) 
 		}, nil
 	}
 
-	blocks, err := intersect.BalancedPartition(t, loads, sizeR)
+	blocks, err := place.BalancedPartition(t, loads, sizeR)
 	if err != nil {
 		return nil, err
 	}

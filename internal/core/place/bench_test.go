@@ -1,0 +1,79 @@
+package place
+
+import (
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+// benchTree builds the 64-leaf two-tier tree the memoization benchmarks
+// run on — big enough that the two capacity sweeps are measurable, shaped
+// like the fleets of short registry tasks that motivated the cache.
+func benchTree(b *testing.B) *topology.Tree {
+	b.Helper()
+	racks := make([]int, 8)
+	uplinks := make([]float64, 8)
+	for i := range racks {
+		racks[i] = 8
+		uplinks[i] = float64(int64(1) << uint(i%4)) // graded 1..8 uplinks
+	}
+	tree, err := topology.TwoTier(racks, uplinks, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+// BenchmarkCapacitiesUncached measures the raw two-sweep computation —
+// what every protocol call used to pay before the Tree memo.
+func BenchmarkCapacitiesUncached(b *testing.B) {
+	tree := benchTree(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w := capacities(tree); len(w) == 0 {
+			b.Fatal("empty weights")
+		}
+	}
+}
+
+// BenchmarkCapacitiesMemoized measures the steady-state cost a fleet of
+// short tasks pays per protocol call: one mutex-guarded map hit.
+func BenchmarkCapacitiesMemoized(b *testing.B) {
+	tree := benchTree(b)
+	Capacities(tree) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := Capacities(tree); len(w) == 0 {
+			b.Fatal("empty weights")
+		}
+	}
+}
+
+// BenchmarkHierarchyUncached measures building the weak-cut hierarchy
+// from scratch on every call.
+func BenchmarkHierarchyUncached(b *testing.B) {
+	tree := benchTree(b)
+	w := Capacities(tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := NewHierarchy(tree, w); h == nil {
+			b.Fatal("nil hierarchy")
+		}
+	}
+}
+
+// BenchmarkHierarchyMemoized measures the memoized lookup protocols
+// actually perform per run.
+func BenchmarkHierarchyMemoized(b *testing.B) {
+	tree := benchTree(b)
+	HierarchyFor(tree) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := HierarchyFor(tree); h == nil {
+			b.Fatal("nil hierarchy")
+		}
+	}
+}

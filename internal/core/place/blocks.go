@@ -22,7 +22,8 @@ type BlockPlan struct {
 // worth protecting and every intra-block link is strong. The combiner of a
 // block is its highest-weight member (weights indexed in ComputeNodes
 // order, typically Capacities). Returns nil when combining cannot help: a
-// single block (no weak cut) or all-singleton blocks.
+// single block (no weak cut) or all-singleton blocks. It is the deepest
+// level of the weak-cut Hierarchy, computed flat.
 func CombinerBlocks(t *topology.Tree, weights []float64) *BlockPlan {
 	maxW := 0.0
 	for e := 0; e < t.NumEdges(); e++ {
@@ -33,45 +34,7 @@ func CombinerBlocks(t *topology.Tree, weights []float64) *BlockPlan {
 	if maxW == 0 {
 		return nil
 	}
-	thresh := maxW / 2
-
-	comp := make([]int, t.NumNodes())
-	for i := range comp {
-		comp[i] = -1
-	}
-	numComp := 0
-	for start := 0; start < t.NumNodes(); start++ {
-		if comp[start] != -1 {
-			continue
-		}
-		id := numComp
-		numComp++
-		stack := []topology.NodeID{topology.NodeID(start)}
-		comp[start] = id
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, h := range t.Neighbors(v) {
-				if t.Bandwidth(h.Edge) >= thresh && comp[h.To] == -1 {
-					comp[h.To] = id
-					stack = append(stack, h.To)
-				}
-			}
-		}
-	}
-
-	plan := &BlockPlan{BlockOf: make([]int, t.NumCompute())}
-	blockID := make(map[int]int)
-	for i, v := range t.ComputeNodes() {
-		b, ok := blockID[comp[v]]
-		if !ok {
-			b = len(plan.Blocks)
-			blockID[comp[v]] = b
-			plan.Blocks = append(plan.Blocks, nil)
-		}
-		plan.BlockOf[i] = b
-		plan.Blocks[b] = append(plan.Blocks[b], i)
-	}
+	plan := thresholdBlocks(t, weights, maxW/2)
 	if len(plan.Blocks) <= 1 {
 		return nil
 	}
@@ -84,16 +47,6 @@ func CombinerBlocks(t *topology.Tree, weights []float64) *BlockPlan {
 	}
 	if !multi {
 		return nil
-	}
-	plan.Combiner = make([]int, len(plan.Blocks))
-	for b, members := range plan.Blocks {
-		best := members[0]
-		for _, m := range members[1:] {
-			if weights[m] > weights[best] {
-				best = m
-			}
-		}
-		plan.Combiner[b] = best
 	}
 	return plan
 }
@@ -120,7 +73,18 @@ func (p *BlockPlan) MinorityBlocks(weights []float64) []bool {
 		for _, i := range members {
 			blockW += weights[i]
 		}
-		out[b] = 2*blockW <= total
+		out[b] = minorityPays(blockW, total)
 	}
 	return out
+}
+
+// minorityPays is the shared combining-pays predicate of MinorityBlocks
+// and Hierarchy.CombinePays: a block holding at most half of the total
+// weight homes most of its payloads outside itself, so a pre-merge round
+// saves on its boundary cut. Symmetric topologies split into exactly-half
+// blocks whose weight sums differ from total/2 only by float rounding;
+// the tolerance keeps the boundary case paying on both sides of the
+// rounding.
+func minorityPays(blockW, total float64) bool {
+	return 2*blockW <= total*(1+1e-9)
 }

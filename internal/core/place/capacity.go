@@ -30,7 +30,17 @@ import (
 // the share-dimension analogue of the paper's weighted-hashing principle.
 // Infinite-bandwidth links are clamped to a large finite stand-in so
 // proportions stay well-defined.
+//
+// The weights are memoized on the Tree (trees are immutable), so fleets
+// of short protocol runs on one cluster pay the two sweeps once. The
+// returned slice is shared — callers must not modify it.
 func Capacities(t *topology.Tree) []float64 {
+	return t.Memo(capacitiesMemoKey{}, func() any { return capacities(t) }).([]float64)
+}
+
+// capacities computes the capacity weights uncached; Capacities memoizes
+// it per tree.
+func capacities(t *topology.Tree) []float64 {
 	n := t.NumNodes()
 	// Clamp +Inf links: anything beyond every finite link's total acts as
 	// "not a bottleneck".

@@ -1,10 +1,18 @@
-package intersect
+package place
 
 import (
 	"fmt"
 
 	"topompc/internal/topology"
 )
+
+// This file owns the load-driven structural machinery of §3.3: the α/β
+// edge classification and the balanced partition of Algorithm 3 /
+// Definition 1. It moved here from internal/core/intersect so that every
+// structural decomposition of the tree — capacity weights, weak-cut
+// combining blocks, the recursive hierarchy, and the load-balanced
+// partition — lives in the one placement package; intersect, join, and
+// aggregate consume it from here.
 
 // EdgeClass classifies an edge as α or β following §3.3: an edge e is a
 // β-edge when both sides of its cut hold at least |R| elements
@@ -93,7 +101,7 @@ func BalancedPartition(t *topology.Tree, loads topology.Loads, sizeR int64) ([][
 			return g
 		}
 		if prev := vertOfComp[comp[v]]; prev != topology.NoNode && prev != v {
-			panic(fmt.Sprintf("intersect: α-component with two G_β vertices %v and %v", prev, v))
+			panic(fmt.Sprintf("place: α-component with two G_β vertices %v and %v", prev, v))
 		}
 		vertOfComp[comp[v]] = v
 		g := &gbVert{node: v, adj: make(map[topology.NodeID]int), alive: true}
@@ -115,7 +123,7 @@ func BalancedPartition(t *topology.Tree, loads topology.Loads, sizeR int64) ([][
 			// A compute node α-connected to no β endpoint is impossible when
 			// β-edges exist: its component's boundary edges are β-edges whose
 			// near endpoints lie inside the component.
-			panic(fmt.Sprintf("intersect: compute node %v in α-component without G_β vertex", v))
+			panic(fmt.Sprintf("place: compute node %v in α-component without G_β vertex", v))
 		}
 		g := verts[x]
 		g.gamma = append(g.gamma, v)
@@ -139,7 +147,7 @@ func BalancedPartition(t *topology.Tree, loads topology.Loads, sizeR int64) ([][
 			}
 		}
 		if pick == nil {
-			return nil, fmt.Errorf("intersect: G_β has no leaf; not a tree")
+			return nil, fmt.Errorf("place: G_β has no leaf; not a tree")
 		}
 		if pick.weight >= sizeR || remaining == 1 {
 			// The proof of Lemma 3 shows the final vertex always satisfies
@@ -172,8 +180,6 @@ func BalancedPartition(t *topology.Tree, loads topology.Loads, sizeR int64) ([][
 // partition; it is used by tests and by the E5 experiment.
 func CheckBalanced(t *topology.Tree, loads topology.Loads, sizeR int64, blocks [][]topology.NodeID) error {
 	classes := ClassifyEdges(t, loads, sizeR)
-	cuts := t.Cuts(loads)
-	_ = cuts
 
 	// Blocks must partition the compute nodes.
 	blockOf := make(map[topology.NodeID]int)

@@ -2,18 +2,28 @@
 // engine of the protocol layer. The paper's central lever (Hu–Koutris–
 // Blanas, PODS 2021) is one idea applied everywhere: route and place work
 // so that the traffic across each tree cut matches that cut's bandwidth.
-// This package owns the five primitives every protocol derives from that
-// idea, so that no protocol package re-implements them ad hoc:
+// This package owns the structural primitives every protocol derives from
+// that idea, so that no protocol package re-implements them ad hoc:
 //
 //   - Capacities — per-compute-node bandwidth capacity into the rest of
 //     the tree, computed by two sweeps over the tree re-rooted at its
-//     centroid. The universal weight vector behind capacity-weighted
-//     hashing, cell apportioning, and splitter selection.
-//   - CombinerBlocks — the weak-cut block decomposition: blocks are the
-//     connected components of the tree after removing its weak edges, and
-//     each block names a combiner member. Protocols merge per-block before
-//     anything crosses a weak cut (graph label exchanges, partial
-//     aggregates).
+//     centroid and memoized on the immutable Tree. The universal weight
+//     vector behind capacity-weighted hashing, cell apportioning, and
+//     splitter selection.
+//   - Hierarchy — the recursive weak-cut decomposition (cut tree): one
+//     block level per factor-2 bandwidth band from the weakest link up to
+//     half the strongest, with a per-level combining-pays test
+//     (CombinePays) and a bottom-up merge schedule (UpSweep). Protocols
+//     merge payloads once per block per level before crossing that
+//     level's cut (graph label exchanges, multi-level combiner trees).
+//   - CombinerBlocks — the flat single-threshold truncation of the
+//     hierarchy (its deepest level): blocks are the connected components
+//     of the tree after removing its weak edges, and each block names a
+//     combiner member.
+//   - BalancedPartition — the α/β edge classification (§3.3) and the
+//     load-balanced partition of Algorithm 3 / Definition 1, driven by
+//     the data loads rather than the bandwidths (intersect, join,
+//     two-level aggregation).
 //   - Proportional — remainder-exact proportional apportioning (the §5.2
 //     Algorithm 6 / Lemma 9 scheme generalized to arbitrary non-negative
 //     float weights): integer counts that sum exactly to n with every
@@ -27,10 +37,10 @@
 //     thin uplinks.
 //
 // Consumers: multijoin (Capacities + AssignCells), graph (Capacities +
-// CombinerBlocks), sorting (Proportional + Splitters + Capacities),
-// aggregate (Capacities + CombinerBlocks), join (Uniform weights). The
-// package sits between internal/topology and the protocol packages and
-// must not import any of them.
+// Hierarchy), sorting (Proportional + Splitters + Capacities), aggregate
+// (Capacities + Hierarchy + CombinerBlocks + BalancedPartition), intersect
+// and join (BalancedPartition). The package sits between internal/topology
+// and the protocol packages and must not import any of them.
 package place
 
 import (

@@ -8,6 +8,7 @@ import (
 
 	"topompc/internal/core/cartesian"
 	"topompc/internal/core/intersect"
+	"topompc/internal/core/place"
 	"topompc/internal/core/sorting"
 	"topompc/internal/dataset"
 	"topompc/internal/lowerbound"
@@ -114,12 +115,12 @@ func runE5(cfg Config) ([]Table, error) {
 		loads[v] = 40
 	}
 	sizeR := int64(50)
-	classes := intersect.ClassifyEdges(tree, loads, sizeR)
-	blocks, err := intersect.BalancedPartition(tree, loads, sizeR)
+	classes := place.ClassifyEdges(tree, loads, sizeR)
+	blocks, err := place.BalancedPartition(tree, loads, sizeR)
 	if err != nil {
 		return nil, err
 	}
-	checkErr := intersect.CheckBalanced(tree, loads, sizeR, blocks)
+	checkErr := place.CheckBalanced(tree, loads, sizeR, blocks)
 
 	edges := Table{
 		Title:   "E5a: α/β edge classification (|R| = 50, N_v = 40)",
@@ -130,7 +131,7 @@ func runE5(cfg Config) ([]Table, error) {
 	for e := topology.EdgeID(0); int(e) < tree.NumEdges(); e++ {
 		a, b := tree.Endpoints(e)
 		cls := "α"
-		if classes[e] == intersect.Beta {
+		if classes[e] == place.Beta {
 			cls = "β"
 		}
 		edges.AddRow(fmt.Sprintf("%s—%s", tree.Name(a), tree.Name(b)), cls, cuts[e].Min())
@@ -173,11 +174,11 @@ func runE5(cfg Config) ([]Table, error) {
 			continue
 		}
 		sr := 1 + int64(rng.Intn(int(total)))
-		bl, err := intersect.BalancedPartition(rt, l, sr)
+		bl, err := place.BalancedPartition(rt, l, sr)
 		if err != nil {
 			return nil, err
 		}
-		if intersect.CheckBalanced(rt, l, sr, bl) != nil {
+		if place.CheckBalanced(rt, l, sr, bl) != nil {
 			failures++
 		}
 	}

@@ -1,0 +1,34 @@
+package topology
+
+// Memo returns the value cached on the tree under key, computing it with
+// compute on first use. Trees are immutable after Build, so derived
+// structures (capacity weights, weak-cut hierarchies) can be computed once
+// and shared by every protocol run on the same tree; this is the
+// lazily-initialized cache behind place.Capacities and place.HierarchyFor.
+//
+// Safe for concurrent use. compute runs outside the lock, so it may run
+// more than once under contention and may itself call Memo recursively;
+// the first value stored wins and is returned to every caller, so cached
+// values must be deterministic functions of the tree. Callers must treat
+// returned values as shared and immutable.
+func (t *Tree) Memo(key any, compute func() any) any {
+	t.memoMu.Lock()
+	if v, ok := t.memo[key]; ok {
+		t.memoMu.Unlock()
+		return v
+	}
+	t.memoMu.Unlock()
+
+	v := compute()
+
+	t.memoMu.Lock()
+	defer t.memoMu.Unlock()
+	if prev, ok := t.memo[key]; ok {
+		return prev
+	}
+	if t.memo == nil {
+		t.memo = make(map[any]any)
+	}
+	t.memo[key] = v
+	return v
+}

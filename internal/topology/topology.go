@@ -30,6 +30,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeID identifies a node within a Tree. IDs are dense, starting at 0, in
@@ -76,6 +77,9 @@ type Tree struct {
 	lca        *lcaIndex
 
 	computeList []NodeID
+
+	memoMu sync.Mutex  // guards memo
+	memo   map[any]any // lazily-initialized derived-structure cache (Memo)
 }
 
 // NumNodes reports the number of nodes.

@@ -27,6 +27,7 @@ var awareBaselinePairs = [][2]string{
 	{"join", "join-baseline"},
 	{"aggregate", "aggregate-baseline"},
 	{"agg-aware", "agg-aware-flat"},
+	{"agg-tree2", "agg-aware-flat"},
 	{"triangle", "triangle-flat"},
 	{"starjoin", "starjoin-flat"},
 	{"cc", "cc-flat"},

@@ -334,6 +334,19 @@ func init() {
 		},
 	})
 	mustRegister(Task{
+		Name:            "agg-tree2",
+		Description:     "group-by count with the recursive combiner tree (merge per weak-cut block per hierarchy level)",
+		Kind:            TaskSingle,
+		WantsDuplicates: true,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.AggregateMultiLevel(keysToGroups(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return aggregateResult(in, res)
+		},
+	})
+	mustRegister(Task{
 		Name:         "triangle",
 		Description:  "triangle join R⋈S⋈T with the topology-aware HyperCube shuffle",
 		Kind:         TaskMulti,
