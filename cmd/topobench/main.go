@@ -67,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "goroutine budget for -task/-all (0 = all CPUs)")
 		bits    = fs.Int("bits", 0, "bit-width accounting for -task/-all (0 = elements only)")
 		jsonOut = fs.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
+		scale   = fs.Bool("scale", false, "run the data-plane scale sweep (exchange + cc at 10⁴/10⁵, 10⁵-node cc smoke) and write BENCH_scale.json")
+		big     = fs.Bool("scale-big", false, "with -scale: extend to the 10⁶-node topology build and the ≈10⁷-edge cc run")
+		budget  = fs.Int("budget", 0, "with -scale: wall-clock budget in seconds (0 = none); exceeding it fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +81,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := benchConfig{
 		topo: *topo, place: *place, n: *n, reps: *reps,
 		workers: *workers, bits: *bits, seed: *seed,
+	}
+	if *scale || *big {
+		if err := runScale(*seed, *big, *budget, stdout); err != nil {
+			fmt.Fprintf(stderr, "topobench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *all {
 		if *task != "" || *jsonOut {

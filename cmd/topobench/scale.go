@@ -1,0 +1,296 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"topompc/internal/core/graph"
+	"topompc/internal/core/place"
+	"topompc/internal/dataset"
+	"topompc/internal/netsim"
+	"topompc/internal/topology"
+)
+
+// The -scale mode records the data-plane performance trajectory in
+// BENCH_scale.json: steady-state exchange rounds and cc contraction at
+// 10⁴/10⁵ scale (ns/op, allocs/op, and the speedup of the int-indexed
+// contraction over the retired map baseline), plus a 10⁵-topology-node
+// caterpillar G(n,p) cc smoke under an optional wall-clock budget.
+// -scale-big extends the sweep to the million-node data plane: a 10⁶-node
+// graded caterpillar build + placement (capacities + weak-cut hierarchy)
+// benchmark, and a cc run over a G(10⁶, 2·10⁻⁵) graph (≈10⁷ edges) end to
+// end with lean stats.
+
+// scaleRecord is one entry of BENCH_scale.json.
+type scaleRecord struct {
+	// Name identifies the probe: exchange, cc, cc-smoke, topo-build,
+	// cc-big.
+	Name string `json:"name"`
+	// Size is the scale knob: topology nodes for exchange/topo-build and
+	// the smokes, graph vertices for cc.
+	Size int `json:"size"`
+	// NsPerOp is the steady-state per-op (benchmarked probes) or the
+	// single-run wall clock (smoke probes) in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are per-op heap traffic for benchmarked
+	// probes (absent for smoke probes).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	// MapsNsPerOp and Speedup compare cc probes against the map-based
+	// baseline (graph.CCBaseline) on the identical input.
+	MapsNsPerOp int64   `json:"maps_ns_per_op,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	// Edges / Rounds / HeapBytes describe the smoke runs: input edges,
+	// exchange rounds executed, and the live heap right after the run.
+	Edges     int64 `json:"edges,omitempty"`
+	Rounds    int   `json:"rounds,omitempty"`
+	HeapBytes int64 `json:"heap_bytes,omitempty"`
+}
+
+// benchScale is the BENCH_scale.json payload.
+type benchScale struct {
+	Seed     uint64        `json:"seed"`
+	WallNs   int64         `json:"wall_ns"`
+	BudgetNs int64         `json:"budget_ns,omitempty"`
+	Records  []scaleRecord `json:"records"`
+}
+
+// gradedCaterpillar builds a caterpillar with the given spine length and a
+// repeating 1..7 bandwidth gradient (legs 4): deep, bandwidth-banded, and
+// cheap to scale — the canonical stress topology of the netsim benchmarks.
+func gradedCaterpillar(spines int) (*topology.Tree, error) {
+	spine := make([]float64, spines)
+	for i := range spine {
+		spine[i] = 1 + float64(i%7)
+	}
+	return topology.Caterpillar(spine, 4)
+}
+
+// gnpPlacement samples G(n, p) with a fixed generator seed and deals the
+// edges round-robin across the compute nodes.
+func gnpPlacement(n int, p float64, nodes int) (graph.Placement, int64, error) {
+	packed, err := dataset.GNP(rand.New(rand.NewSource(11)), n, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	edges := make(graph.Placement, nodes)
+	for i, pk := range packed {
+		u, v := dataset.UnpackEdge(pk)
+		j := i % nodes
+		edges[j] = append(edges[j], graph.Edge{U: uint64(u), V: uint64(v)})
+	}
+	return edges, int64(len(packed)), nil
+}
+
+// exchangeScale measures the steady-state planned-exchange round on a
+// caterpillar with the given total node count: a fixed batch of unicasts
+// and multicasts between random compute nodes, accounted with lean stats.
+func exchangeScale(nodes int, stdout io.Writer) (scaleRecord, error) {
+	tr, err := gradedCaterpillar(nodes / 2)
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	rng := rand.New(rand.NewSource(99))
+	vs := tr.ComputeNodes()
+	keys := make([]uint64, 8)
+	type transfer struct {
+		from, to topology.NodeID
+		dsts     []topology.NodeID
+	}
+	batch := make([]transfer, nodes)
+	for i := range batch {
+		from := vs[rng.Intn(len(vs))]
+		if i%16 == 15 {
+			batch[i] = transfer{from: from, dsts: []topology.NodeID{
+				vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]}}
+		} else {
+			batch[i] = transfer{from: from, to: vs[rng.Intn(len(vs))]}
+		}
+	}
+	e := netsim.NewEngine(tr, netsim.WithLeanStats())
+	round := func() {
+		x := e.Exchange()
+		for _, tf := range batch {
+			if tf.dsts == nil {
+				x.Out(tf.from).Send(tf.to, netsim.TagData, keys)
+			} else {
+				x.Out(tf.from).Multicast(tf.dsts, netsim.TagData, keys)
+			}
+		}
+		x.Execute()
+	}
+	round() // warm the engine arena so the benchmark sees the steady state
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			round()
+		}
+	})
+	rec := scaleRecord{
+		Name: "exchange", Size: nodes,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	fmt.Fprintf(stdout, "exchange %7d nodes: %12d ns/op  %5d allocs/op  %8d B/op\n",
+		nodes, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	return rec, nil
+}
+
+// ccScale benchmarks the int-indexed contraction against the map baseline
+// on an n-vertex average-degree-4 G(n,p) over the 5-spine graded
+// caterpillar fixture (the graph package's benchmark fixture).
+func ccScale(n int, seed uint64, stdout io.Writer) (scaleRecord, error) {
+	tr, err := topology.Caterpillar([]float64{4, 8, 16, 8, 4}, 2)
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	edges, _, err := gnpPlacement(n, 4.0/float64(n), tr.NumCompute())
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	if _, err := graph.CC(tr, edges, seed); err != nil {
+		return scaleRecord{}, err
+	}
+	idx := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.CC(tr, edges, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	maps := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.CCBaseline(tr, edges, seed, true, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec := scaleRecord{
+		Name: "cc", Size: n,
+		NsPerOp:     idx.NsPerOp(),
+		AllocsPerOp: idx.AllocsPerOp(),
+		BytesPerOp:  idx.AllocedBytesPerOp(),
+		MapsNsPerOp: maps.NsPerOp(),
+	}
+	if rec.NsPerOp > 0 {
+		rec.Speedup = float64(rec.MapsNsPerOp) / float64(rec.NsPerOp)
+	}
+	fmt.Fprintf(stdout, "cc       %7d verts: %12d ns/op  %5d allocs/op  (maps %d ns/op, %.1f× speedup)\n",
+		n, rec.NsPerOp, rec.AllocsPerOp, rec.MapsNsPerOp, rec.Speedup)
+	return rec, nil
+}
+
+// ccSmoke runs cc once, end to end with lean stats, on a graded
+// caterpillar with the given total node count and a G(n, p) input, and
+// reports wall clock, rounds, and the live heap after the run.
+func ccSmoke(name string, nodes, n int, p float64, seed uint64, stdout io.Writer) (scaleRecord, error) {
+	tr, err := gradedCaterpillar(nodes / 2)
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	edges, ne, err := gnpPlacement(n, p, tr.NumCompute())
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	start := time.Now()
+	res, err := graph.CC(tr, edges, seed, netsim.WithLeanStats())
+	elapsed := time.Since(start)
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := scaleRecord{
+		Name: name, Size: nodes,
+		NsPerOp:   elapsed.Nanoseconds(),
+		Edges:     ne,
+		Rounds:    res.Report.NumRounds(),
+		HeapBytes: int64(ms.HeapAlloc),
+	}
+	fmt.Fprintf(stdout, "%s %d-node topology, %d verts, %d edges: %v wall, %d rounds, %d components, heap %d MB\n",
+		name, nodes, n, ne, elapsed.Round(time.Millisecond), rec.Rounds, res.Components, rec.HeapBytes>>20)
+	return rec, nil
+}
+
+// topoBuild times the million-node control-plane path: building a graded
+// caterpillar of the given total node count plus the placement sweeps
+// (capacity weights and the weak-cut hierarchy) over it.
+func topoBuild(nodes int, stdout io.Writer) (scaleRecord, error) {
+	start := time.Now()
+	tr, err := gradedCaterpillar(nodes / 2)
+	if err != nil {
+		return scaleRecord{}, err
+	}
+	w := place.Capacities(tr)
+	h := place.HierarchyFor(tr)
+	elapsed := time.Since(start)
+	levels := 0
+	if h != nil {
+		levels = h.Depth()
+	}
+	rec := scaleRecord{Name: "topo-build", Size: tr.NumNodes(), NsPerOp: elapsed.Nanoseconds()}
+	fmt.Fprintf(stdout, "topo-build %d nodes (+capacities+hierarchy, %d weights, %d levels): %v wall\n",
+		tr.NumNodes(), len(w), levels, elapsed.Round(time.Millisecond))
+	return rec, nil
+}
+
+// runScale executes the -scale sweep (and the -scale-big extension) and
+// writes BENCH_scale.json. A nonzero budget (seconds) fails the run when
+// the sweep's wall clock exceeds it.
+func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) error {
+	start := time.Now()
+	out := benchScale{Seed: seed}
+	add := func(rec scaleRecord, err error) error {
+		if err != nil {
+			return err
+		}
+		out.Records = append(out.Records, rec)
+		return nil
+	}
+
+	for _, nodes := range []int{10_000, 100_000} {
+		if err := add(exchangeScale(nodes, stdout)); err != nil {
+			return err
+		}
+	}
+	for _, n := range []int{10_000, 100_000} {
+		if err := add(ccScale(n, seed, stdout)); err != nil {
+			return err
+		}
+	}
+	// The -scale smoke: a 10⁵-node caterpillar hosting an average-degree-4
+	// G(n, p) connectivity run.
+	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, stdout)); err != nil {
+		return err
+	}
+	if big {
+		if err := add(topoBuild(1_000_000, stdout)); err != nil {
+			return err
+		}
+		// ≈10⁷ edges: p·n(n−1)/2 with n = 10⁶, p = 2·10⁻⁵.
+		if err := add(ccSmoke("cc-big", 1_000_000, 1_000_000, 2e-5, seed, stdout)); err != nil {
+			return err
+		}
+	}
+
+	out.WallNs = time.Since(start).Nanoseconds()
+	if budgetSec > 0 {
+		out.BudgetNs = int64(budgetSec) * int64(time.Second)
+	}
+	if err := writeJSON("BENCH_scale.json", out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote BENCH_scale.json (%d records, %v wall)\n",
+		len(out.Records), time.Duration(out.WallNs).Round(time.Millisecond))
+	if out.BudgetNs > 0 && out.WallNs > out.BudgetNs {
+		return fmt.Errorf("scale sweep took %v, over the %ds budget",
+			time.Duration(out.WallNs).Round(time.Millisecond), budgetSec)
+	}
+	return nil
+}

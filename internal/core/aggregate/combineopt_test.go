@@ -1,0 +1,120 @@
+package aggregate
+
+import (
+	"reflect"
+	"testing"
+
+	"topompc/internal/core/place"
+	"topompc/internal/topology"
+)
+
+// skewedThreeTier mirrors the place-package fixture: two pods behind
+// 3-bandwidth core links, each with a heavy rack (4 leaves, 40-uplink)
+// and a light rack (1 leaf, 6-uplink), leaf links 48. The heavy rack is a
+// majority of its pod but a minority of the machine, which is exactly the
+// block the parent-relative combining-pays test skips.
+func skewedThreeTier(t testing.TB) *topology.Tree {
+	t.Helper()
+	b := topology.NewBuilder()
+	core := b.Router("core")
+	for p := 0; p < 2; p++ {
+		pod := b.Router("")
+		b.Link(pod, core, 3)
+		heavy := b.Router("")
+		b.Link(heavy, pod, 40)
+		for j := 0; j < 4; j++ {
+			b.Link(b.Compute(""), heavy, 48)
+		}
+		light := b.Router("")
+		b.Link(light, pod, 6)
+		b.Link(b.Compute(""), light, 48)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCombinerTreeParentRelativeRecovers measures the option end to end:
+// on the skewed gradient with duplicate-heavy data (every node holds every
+// group), the default schedule spends a rack-level merge round whose
+// target — the pod combiner — sits inside the heavy rack anyway, so the
+// round buys no cut traffic. The parent-relative schedule skips it: one
+// round shorter, strictly cheaper, same answer.
+func TestCombinerTreeParentRelativeRecovers(t *testing.T) {
+	tr := skewedThreeTier(t)
+	p := tr.NumCompute()
+	const groups = 96
+	data := make(Placement, p)
+	for i := range data {
+		for g := 0; g < groups; g++ {
+			data[i] = append(data[i], Pair{Group: uint64(g*7 + 1), Value: int64(i + g)})
+		}
+	}
+
+	def, err := CombinerTree(tr, data, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := CombinerTreeOpt(tr, data, 7, place.CombineOptions{ParentRelative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"default": def, "parent-relative": rel} {
+		if err := Verify(data, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if !reflect.DeepEqual(def.Totals(), rel.Totals()) {
+		t.Error("parent-relative option changed the aggregation result")
+	}
+
+	if def.Strategy != "combiner-tree×2" || rel.Strategy != "combiner-tree×1" {
+		t.Fatalf("strategies = %q vs %q, want combiner-tree×2 vs combiner-tree×1", def.Strategy, rel.Strategy)
+	}
+	if dr, rr := def.Report.NumRounds(), rel.Report.NumRounds(); dr != rr+1 {
+		t.Errorf("rounds: default %d, parent-relative %d, want exactly one fewer", dr, rr)
+	}
+
+	dc, rc := def.Report.TotalCost(), rel.Report.TotalCost()
+	if rc >= dc {
+		t.Fatalf("parent-relative cost %.3f not below default %.3f", rc, dc)
+	}
+	saved := (dc - rc) / dc
+	t.Logf("total cost: default %.3f, parent-relative %.3f (%.1f%% recovered)", dc, rc, 100*saved)
+	if saved < 0.02 {
+		t.Errorf("recovery %.2f%% below the 2%% floor the option exists for", 100*saved)
+	}
+}
+
+// TestCombinerTreeOptZeroMatchesDefault pins that zero options are the
+// identity: same strategy, same totals, byte-identical cost report totals
+// on a topology where combining engages.
+func TestCombinerTreeOptZeroMatchesDefault(t *testing.T) {
+	tr := skewedThreeTier(t)
+	p := tr.NumCompute()
+	data := make(Placement, p)
+	for i := range data {
+		for g := 0; g < 40; g++ {
+			data[i] = append(data[i], Pair{Group: uint64(g*13 + 5), Value: int64(3*i - g)})
+		}
+	}
+	def, err := CombinerTree(tr, data, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := CombinerTreeOpt(tr, data, 11, place.CombineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Strategy != opt.Strategy {
+		t.Errorf("strategy %q != %q", opt.Strategy, def.Strategy)
+	}
+	if !reflect.DeepEqual(def.Totals(), opt.Totals()) {
+		t.Error("zero-option totals diverge from CombinerTree")
+	}
+	if dc, oc := def.Report.TotalCost(), opt.Report.TotalCost(); dc != oc {
+		t.Errorf("zero-option cost %v != default %v", oc, dc)
+	}
+}

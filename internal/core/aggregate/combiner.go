@@ -36,6 +36,19 @@ const tagUp netsim.Tag = 30
 // tier, not just the weakest. When no block pays anywhere the protocol
 // degrades to a single round of capacity-weighted hashing.
 func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return combinerTree(t, data, seed, place.CombineOptions{}, opts)
+}
+
+// CombinerTreeOpt is CombinerTree with an explicit combining-pays policy
+// (place.CombineOptions): the up-sweep schedule comes from UpSweepOpt
+// instead of UpSweep, so e.g. ParentRelative skips merge rounds for blocks
+// that dominate their parent on skewed bandwidth gradients. The zero
+// options reproduce CombinerTree exactly.
+func CombinerTreeOpt(t *topology.Tree, data Placement, seed uint64, copt place.CombineOptions, opts ...netsim.Option) (*Result, error) {
+	return combinerTree(t, data, seed, copt, opts)
+}
+
+func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.CombineOptions, opts []netsim.Option) (*Result, error) {
 	in, err := newInstance(t, data)
 	if err != nil {
 		return nil, err
@@ -48,7 +61,7 @@ func CombinerTree(t *topology.Tree, data Placement, seed uint64, opts ...netsim.
 
 	var steps []place.UpStep
 	if h := place.HierarchyFor(t); h != nil {
-		steps = h.UpSweep(weights)
+		steps = h.UpSweepOpt(weights, copt)
 	}
 
 	e := netsim.NewEngine(t, opts...)

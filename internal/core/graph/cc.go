@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 
 	"topompc/internal/core/place"
 	"topompc/internal/hashing"
@@ -38,80 +39,407 @@ func SpanningForest(t *topology.Tree, edges Placement, seed uint64, opts ...nets
 	return run(t, edges, seed, true, true, opts)
 }
 
-// workEdge is one active contracted edge: the current endpoint labels plus
-// the original witness endpoints (needed so a hooking can name a real
-// graph edge after arbitrary relabelings).
-type workEdge struct {
-	a, b   uint64
-	wu, wv uint64
-}
+// The contraction below is the int-indexed data plane: one renumbering
+// pass maps the input's arbitrary uint64 vertex ids onto dense indices
+// (ascending, so index order equals id order and every min-comparison is
+// preserved), and from then on all home state lives in flat arrays indexed
+// by vertex/label index — maps appear only at the API boundary when the
+// Result is assembled. Per-phase state (best proposal, jump pointer,
+// resolved root) is validity-stamped with the phase counter instead of
+// being cleared, batching groups by destination home with counting buckets
+// instead of hash maps or packed sorts, scratch lists sort with an LSD
+// radix that skips constant byte lanes, and outgoing payloads are carved
+// from per-node double-buffered arenas so steady-state phases allocate
+// almost nothing. The serial relabel walk additionally pre-combines the
+// next phase's proposal minima and pre-dedups its lookup needs with
+// stamped arrays, so the per-round planning callbacks only sort lists that
+// are already distinct.
+//
+// The wire protocol is unchanged except that messages carry indices
+// instead of ids. The renumbering is order-preserving and homes are still
+// hashed from the original ids, so every message has the same destination,
+// tag, and length as the retired map-based path (CCBaseline) — cost
+// reports are byte-identical, which the property tests pin.
 
-// prop is a min-neighbor proposal for one label: the smallest neighbor
-// label seen, with its witness edge. The total order (b, wu, wv) makes
-// min-combining deterministic.
-type prop struct {
-	b, wu, wv uint64
-}
+// workEdge is one active contracted edge: current endpoint label indices
+// plus the original witness endpoint indices.
+type workEdge struct{ a, b, wu, wv int32 }
 
-func betterProp(x, y prop) bool {
-	if x.b != y.b {
-		return x.b < y.b
+// propPair is a witness-mode min-neighbor proposal packed for sorting:
+// k1 = a<<32|b and k2 = wu<<32|wv, so ascending (k1, k2) order is exactly
+// the betterProp total order (b, wu, wv) within each label a, and the
+// first entry of a run of equal a is the combined minimum.
+//
+// Non-witness proposals skip the struct entirely: the wire drops the
+// witness halves, so equal (a, b) entries are indistinguishable and the
+// minima are computed over bare k1 keys.
+type propPair struct{ k1, k2 uint64 }
+
+func cmpPropPair(x, y propPair) int {
+	if x.k1 != y.k1 {
+		if x.k1 < y.k1 {
+			return -1
+		}
+		return 1
 	}
-	if x.wu != y.wu {
-		return x.wu < y.wu
+	if x.k2 != y.k2 {
+		if x.k2 < y.k2 {
+			return -1
+		}
+		return 1
 	}
-	return x.wv < y.wv
+	return 0
 }
 
-func upd(m map[uint64]prop, a uint64, p prop) {
-	if q, ok := m[a]; !ok || betterProp(p, q) {
-		m[a] = p
+// compactMinPairs keeps the first (minimal) entry per label of a sorted
+// pair slice.
+func compactMinPairs(prs []propPair) []propPair {
+	out := prs[:0]
+	var last uint64
+	for i, p := range prs {
+		a := p.k1 >> 32
+		if i == 0 || a != last {
+			out = append(out, p)
+			last = a
+		}
+	}
+	return out
+}
+
+// compactMinK1 keeps the first (minimal) key per label of a sorted packed
+// a<<32|b key slice.
+func compactMinK1(ks []uint64) []uint64 {
+	out := ks[:0]
+	var last uint64
+	for i, k := range ks {
+		a := k >> 32
+		if i == 0 || a != last {
+			out = append(out, k)
+			last = a
+		}
+	}
+	return out
+}
+
+// radixSortUint64 sorts ascending with an LSD byte radix, skipping byte
+// lanes that are constant across the slice (index-packed keys rarely use
+// more than a few). Returns the sorted slice and the scratch buffer, which
+// may have swapped roles.
+func radixSortUint64(a, tmp []uint64) ([]uint64, []uint64) {
+	if len(a) < 64 {
+		slices.Sort(a)
+		return a, tmp
+	}
+	if cap(tmp) < len(a) {
+		tmp = make([]uint64, len(a))
+	}
+	tmp = tmp[:len(a)]
+	var hist [8][256]int32
+	for _, v := range a {
+		hist[0][v&0xff]++
+		hist[1][(v>>8)&0xff]++
+		hist[2][(v>>16)&0xff]++
+		hist[3][(v>>24)&0xff]++
+		hist[4][(v>>32)&0xff]++
+		hist[5][(v>>40)&0xff]++
+		hist[6][(v>>48)&0xff]++
+		hist[7][(v>>56)&0xff]++
+	}
+	src, dst := a, tmp
+	for pass := 0; pass < 8; pass++ {
+		sh := uint(pass) * 8
+		h := &hist[pass]
+		if int(h[(src[0]>>sh)&0xff]) == len(src) {
+			continue // constant byte lane
+		}
+		var off [256]int32
+		var sum int32
+		for b := 0; b < 256; b++ {
+			off[b] = sum
+			sum += h[b]
+		}
+		for _, v := range src {
+			b := (v >> sh) & 0xff
+			dst[off[b]] = v
+			off[b]++
+		}
+		src, dst = dst, src
+	}
+	return src, dst
+}
+
+// radixSortInt32 is the radix sort for non-negative int32 index lists.
+func radixSortInt32(a, tmp []int32) ([]int32, []int32) {
+	if len(a) < 64 {
+		slices.Sort(a)
+		return a, tmp
+	}
+	if cap(tmp) < len(a) {
+		tmp = make([]int32, len(a))
+	}
+	tmp = tmp[:len(a)]
+	var hist [4][256]int32
+	for _, v := range a {
+		u := uint32(v)
+		hist[0][u&0xff]++
+		hist[1][(u>>8)&0xff]++
+		hist[2][(u>>16)&0xff]++
+		hist[3][(u>>24)&0xff]++
+	}
+	src, dst := a, tmp
+	for pass := 0; pass < 4; pass++ {
+		sh := uint(pass) * 8
+		h := &hist[pass]
+		if int(h[(uint32(src[0])>>sh)&0xff]) == len(src) {
+			continue
+		}
+		var off [256]int32
+		var sum int32
+		for b := 0; b < 256; b++ {
+			off[b] = sum
+			sum += h[b]
+		}
+		for _, v := range src {
+			b := (uint32(v) >> sh) & 0xff
+			dst[off[b]] = v
+			off[b]++
+		}
+		src, dst = dst, src
+	}
+	return src, dst
+}
+
+// sortByHome stably reorders els ascending by home index (at most
+// numHomes), in place: small lists use a stable insertion sort, the rest
+// an LSD byte radix on the home key (constant lanes skipped) through the
+// *tmp scratch, copied back if the final pass lands there. Stability
+// preserves the input's label order within each home, which is exactly
+// the (home asc, label asc) wire order the map path produced. The cost is
+// O(passes·n) — independent of the node count, unlike counting buckets.
+func sortByHome[T any](els []T, tmp *[]T, home func(T) int32, numHomes int) {
+	if len(els) < 48 {
+		for i := 1; i < len(els); i++ {
+			el := els[i]
+			h := home(el)
+			j := i
+			for j > 0 && home(els[j-1]) > h {
+				els[j] = els[j-1]
+				j--
+			}
+			els[j] = el
+		}
+		return
+	}
+	passes := 1
+	for v := numHomes - 1; v >= 256; v >>= 8 {
+		passes++
+	}
+	if cap(*tmp) < len(els) {
+		*tmp = make([]T, len(els))
+	}
+	var hist [4][256]int32
+	for _, el := range els {
+		h := uint32(home(el))
+		for b := 0; b < passes; b++ {
+			hist[b][(h>>(8*uint(b)))&0xff]++
+		}
+	}
+	src, dst := els, (*tmp)[:len(els)]
+	for pass := 0; pass < passes; pass++ {
+		sh := uint(pass) * 8
+		h := &hist[pass]
+		if int(h[(uint32(home(src[0]))>>sh)&0xff]) == len(src) {
+			continue
+		}
+		var off [256]int32
+		var sum int32
+		for b := 0; b < 256; b++ {
+			off[b] = sum
+			sum += h[b]
+		}
+		for _, el := range src {
+			b := (uint32(home(el)) >> sh) & 0xff
+			dst[off[b]] = el
+			off[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &els[0] {
+		copy(els, src)
 	}
 }
 
-// proto is the driver state of one protocol run. Everything is indexed by
-// compute index (position in ComputeNodes).
+// memberNeed records, at a combining carrier, which labels one member
+// asked for during a lookup up-sweep: a range in the carrier's needBuf
+// (the keys are copied because inbox payloads are arena-backed and only
+// valid for one round).
+type memberNeed struct {
+	from   topology.NodeID
+	lo, hi int32
+}
+
+// nodeScratch is the per-compute-node reusable scratch. Entries are only
+// touched by their own node's planning callback (or by the serial receipt
+// loops), so concurrent Plan never races.
+type nodeScratch struct {
+	pairs    []propPair     // witness-mode proposal minima, sorted per label
+	k1s      []uint64       // non-witness proposal minima (one per label)
+	k1tmp    []uint64       // radix scratch
+	need     []int32        // register vertex set / jump query scratch
+	nextNeed []int32        // precollected distinct lookup needs
+	ndtmp    []int32        // radix scratch
+	needBuf  []int32        // combining lookups: copied member needs
+	members  [][]memberNeed // per up-step: who asked for what
+	emitTmp  []int32        // emit grouping: home-radix scratch
+	ptmp     []propPair     // emit grouping: home-radix scratch (witness)
+}
+
+// payloadSlab is one node's outgoing-payload arena for one round parity.
+// grab carves a fixed-size chunk; growth abandons the old block, which
+// stays alive exactly as long as the messages that reference it.
+type payloadSlab struct{ buf []uint64 }
+
+func (pa *payloadSlab) grab(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if len(pa.buf)+n > cap(pa.buf) {
+		c := 2 * cap(pa.buf)
+		if c < n {
+			c = n
+		}
+		if c < 256 {
+			c = 256
+		}
+		pa.buf = make([]uint64, 0, c)
+	}
+	lo := len(pa.buf)
+	pa.buf = pa.buf[:lo+n]
+	return pa.buf[lo : lo+n : lo+n]
+}
+
+// proto is the driver state of one protocol run. Node-level slices are
+// indexed by compute index (position in ComputeNodes); vertex/label arrays
+// by renumbered vertex index.
 type proto struct {
-	t     *topology.Tree
-	e     *netsim.Engine
-	nodes []topology.NodeID
-	idx   map[topology.NodeID]int
-	home  func(uint64) int
-	// steps is the multi-level combining schedule (place.Hierarchy.UpSweep,
-	// deepest level first); empty = direct delivery. Each register/propose
-	// exchange runs the sweep so payloads merge once per block per level
-	// where combining pays, and lookups run it up and back down.
+	t       *topology.Tree
+	e       *netsim.Engine
+	nodes   []topology.NodeID
+	nodeIdx []int32 // NodeID -> compute index
 	steps   []place.UpStep
 	witness bool
 
-	active  [][]workEdge        // contracted edges held locally
-	labelOf []map[uint64]uint64 // home state: vertex -> current label
-	alive   []map[uint64]bool   // home state: labels owned here, still alive
-	forest  [][]Edge            // witness edges per home (witness mode)
+	ids     []uint64 // sorted distinct vertex ids; position = index
+	idToIdx []int32  // direct id -> index table when ids are dense
+	homeOf  []int32  // vertex index -> home compute index
 
-	// Per-phase scratch, reset each phase.
-	best   []map[uint64]prop   // home state: min proposal per label
-	parent []map[uint64]uint64 // home state: unresolved jump pointers
-	rootOf []map[uint64]uint64 // home state: resolved roots, a -> root
+	active [][]workEdge // contracted edges held locally
+
+	// Home state, partitioned by homeOf: entry k is only accessed by the
+	// node homeOf[k] is assigned to.
+	label      []int32 // registered vertex -> current label index
+	registered []bool
+
+	// Per-phase label state, validity tracked by phase stamps. The arrays
+	// are written by serial receipt loops and read by planning callbacks,
+	// so they double as the simulation's consistent global view: once
+	// pointer jumping finishes, rootAt/rootVal answer any label's phase
+	// root without a per-node lookup table.
+	phase   int32
+	bestAt  []int32
+	bestB   []int32
+	bestW   []uint64 // packed witness edge wu<<32|wv
+	parAt   []int32
+	parPtr  []int32
+	rootAt  []int32
+	rootVal []int32
+
+	// Jump-reply snapshot, stamped per jump iteration: answers about label
+	// q decoded from this iteration's reply messages. Replies from
+	// different homes about the same q carry identical snapshot values, so
+	// the shared arrays are well-defined.
+	jstamp int32
+	jrAt   []int32
+	jrVal  []int32
+	jrRoot []bool
+
+	// Relabel-time collection scratch, stamped per (node, use): seenAt
+	// dedups the next phase's lookup needs, minAt/minB min-combine its
+	// proposal minima. Only the serial relabel/init walks touch these.
+	dstamp int32
+	seenAt []int32
+	minAt  []int32
+	minB   []int32
+
+	homedVerts [][]int32 // per home: registered vertices homed here (sorted)
+	aliveList  [][]int32 // per home: alive labels (sorted, shrinks per phase)
+	hooked     [][]int32 // per home: this phase's unresolved hooked labels
+
+	forest [][]Edge // witness edges per home (witness mode)
+
+	scr    []nodeScratch
+	arenas [2][]payloadSlab
+	turn   int
 }
 
 // round executes one planned exchange with fn planning each compute node's
-// sends.
+// sends. Accounting of the previous round overlaps the planning (the
+// engine pipelines behind ExecuteAsync), and the payload arenas alternate
+// so a chunk sent in round r is only reused in round r+2, after its inbox
+// has been retired.
 func (pr *proto) round(fn func(i int, out *netsim.Outbox)) {
+	pr.turn ^= 1
+	slabs := pr.arenas[pr.turn]
+	for i := range slabs {
+		slabs[i].buf = slabs[i].buf[:0]
+	}
 	x := pr.e.Exchange()
 	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
-		fn(pr.idx[v], out)
+		fn(int(pr.nodeIdx[v]), out)
 	})
-	x.Execute()
+	x.ExecuteAsync()
 }
 
-// sendByHome groups sorted labels (with optional payload encoding already
-// applied) by home and queues one message per destination.
-func (pr *proto) sendByHome(out *netsim.Outbox, tag netsim.Tag, groups map[int][]uint64) {
-	for h := 0; h < len(pr.nodes); h++ {
-		if batch := groups[h]; len(batch) > 0 {
-			out.Send(pr.nodes[h], tag, batch)
+func (pr *proto) slab(i int) *payloadSlab { return &pr.arenas[pr.turn][i] }
+
+// idxOf resolves an original vertex id to its dense index.
+func (pr *proto) idxOf(x uint64) int32 {
+	if pr.idToIdx != nil {
+		return pr.idToIdx[x]
+	}
+	k, _ := slices.BinarySearch(pr.ids, x)
+	return int32(k)
+}
+
+// sortDedup radix-sorts and dedups an index list using node i's scratch.
+func (pr *proto) sortDedup(i int, s []int32) []int32 {
+	s, pr.scr[i].ndtmp = radixSortInt32(s, pr.scr[i].ndtmp)
+	return slices.Compact(s)
+}
+
+// emitIndexGroups groups an ascending index list by home (ascending home,
+// then ascending index — the exact order the map path produced) and sends
+// one arena-backed message per nonempty home. The input is already index-
+// sorted, so the stable home radix preserves the order; the list is
+// reordered in place (every caller is done with it after the emit).
+func (pr *proto) emitIndexGroups(i int, out *netsim.Outbox, tag netsim.Tag, items []int32) {
+	if len(items) == 0 {
+		return
+	}
+	sc := &pr.scr[i]
+	sortByHome(items, &sc.emitTmp, func(x int32) int32 { return pr.homeOf[x] }, len(pr.nodes))
+	for s := 0; s < len(items); {
+		h := pr.homeOf[items[s]]
+		e := s + 1
+		for e < len(items) && pr.homeOf[items[e]] == h {
+			e++
 		}
+		batch := pr.slab(i).grab(e - s)
+		for k := s; k < e; k++ {
+			batch[k-s] = uint64(uint32(items[k]))
+		}
+		out.Send(pr.nodes[h], tag, batch)
+		s = e
 	}
 }
 
@@ -120,150 +448,357 @@ func (pr *proto) sendByHome(out *netsim.Outbox, tag netsim.Tag, groups map[int][
 // vertex sets are first unioned along the hierarchy's paying blocks
 // (deepest level first), so a vertex appearing in many members' fragments
 // crosses each engaged cut once per block.
-func (pr *proto) register(verts []map[uint64]bool) {
-	send := verts
-	for _, st := range pr.steps {
-		st := st
+func (pr *proto) register() {
+	for si := range pr.steps {
+		st := pr.steps[si]
+		first := si == 0
 		pr.round(func(i int, out *netsim.Outbox) {
+			if first {
+				pr.scr[i].need = pr.sortDedup(i, pr.scr[i].need)
+			}
 			if st.Target[i] == i {
 				return
 			}
-			if batch := sortedKeys(send[i]); len(batch) > 0 {
+			if nd := pr.scr[i].need; len(nd) > 0 {
+				batch := pr.slab(i).grab(len(nd))
+				for k, x := range nd {
+					batch[k] = uint64(uint32(x))
+				}
 				out.Send(pr.nodes[st.Target[i]], tagVertexUp, batch)
 			}
 		})
-		merged := make([]map[uint64]bool, len(pr.nodes))
 		for i, v := range pr.nodes {
 			if st.Target[i] != i {
-				merged[i] = make(map[uint64]bool) // forwarded up
+				pr.scr[i].need = pr.scr[i].need[:0] // forwarded up
 				continue
 			}
-			// Carriers keep their set and union in what arrived. verts is
-			// owned by run and not reused, so merging in place is safe.
-			m := send[i]
+			nd := pr.scr[i].need
+			grew := false
 			for _, msg := range pr.e.Inbox(v) {
 				if msg.Tag != tagVertexUp {
 					continue
 				}
+				grew = true
 				for _, x := range msg.Keys {
-					m[x] = true
+					nd = append(nd, int32(x))
 				}
 			}
-			merged[i] = m
+			if grew {
+				nd = pr.sortDedup(i, nd)
+			}
+			pr.scr[i].need = nd
 		}
-		send = merged
 	}
+	final := len(pr.steps) == 0
 	pr.round(func(i int, out *netsim.Outbox) {
-		groups := make(map[int][]uint64)
-		for _, x := range sortedKeys(send[i]) {
-			h := pr.home(x)
-			groups[h] = append(groups[h], x)
+		if final {
+			pr.scr[i].need = pr.sortDedup(i, pr.scr[i].need)
 		}
-		pr.sendByHome(out, tagVertex, groups)
+		pr.emitIndexGroups(i, out, tagVertex, pr.scr[i].need)
 	})
 	for i, v := range pr.nodes {
 		for _, m := range pr.e.Inbox(v) {
 			if m.Tag != tagVertex {
 				continue
 			}
-			for _, x := range m.Keys {
-				if _, ok := pr.labelOf[i][x]; !ok {
-					pr.labelOf[i][x] = x
-					pr.alive[i][x] = true
+			for _, xk := range m.Keys {
+				x := int32(xk)
+				if !pr.registered[x] {
+					pr.registered[x] = true
+					pr.label[x] = x
+					pr.homedVerts[i] = append(pr.homedVerts[i], x)
+					pr.aliveList[i] = append(pr.aliveList[i], x)
 				}
 			}
 		}
 	}
+	for i := range pr.nodes {
+		pr.homedVerts[i], pr.scr[i].ndtmp = radixSortInt32(pr.homedVerts[i], pr.scr[i].ndtmp)
+		pr.aliveList[i], pr.scr[i].ndtmp = radixSortInt32(pr.aliveList[i], pr.scr[i].ndtmp)
+	}
 }
 
-// encodeProps serializes a proposal map in ascending label order: stride 2
-// (a, b) or stride 4 (a, b, wu, wv) in witness mode.
-func encodeProps(m map[uint64]prop, witness bool) []uint64 {
-	stride := 2
-	if witness {
-		stride = 4
+// collectNext pre-combines, from node i's freshly relabeled state, what
+// the next phase's planning rounds will send: the distinct per-label
+// proposal minima of its active edges (non-witness; witness carries edge
+// identities and rebuilds in prepProps) and the distinct lookup needs —
+// active endpoint labels plus homed vertex labels. The stamped arrays
+// dedup in O(1) per candidate; only the shrunken distinct lists get sorted
+// later, inside the planning callbacks.
+func (pr *proto) collectNext(i int) {
+	sc := &pr.scr[i]
+	if !pr.witness {
+		pr.dstamp++
+		mst := pr.dstamp
+		ks := sc.k1s[:0]
+		for _, ed := range pr.active[i] {
+			if pr.minAt[ed.a] != mst {
+				pr.minAt[ed.a] = mst
+				pr.minB[ed.a] = ed.b
+				ks = append(ks, 0) // reserved; rewritten below
+			} else if ed.b < pr.minB[ed.a] {
+				pr.minB[ed.a] = ed.b
+			}
+			if pr.minAt[ed.b] != mst {
+				pr.minAt[ed.b] = mst
+				pr.minB[ed.b] = ed.a
+				ks = append(ks, 0)
+			} else if ed.a < pr.minB[ed.b] {
+				pr.minB[ed.b] = ed.a
+			}
+		}
+		// Rewrite the reserved slots with the final minima, in first-touch
+		// order; the radix sort at propose time orders them by label.
+		k := 0
+		pr.dstamp++
+		done := pr.dstamp
+		for _, ed := range pr.active[i] {
+			if pr.minAt[ed.a] != done {
+				pr.minAt[ed.a] = done
+				ks[k] = uint64(uint32(ed.a))<<32 | uint64(uint32(pr.minB[ed.a]))
+				k++
+			}
+			if pr.minAt[ed.b] != done {
+				pr.minAt[ed.b] = done
+				ks[k] = uint64(uint32(ed.b))<<32 | uint64(uint32(pr.minB[ed.b]))
+				k++
+			}
+		}
+		sc.k1s = ks
 	}
-	out := make([]uint64, 0, stride*len(m))
-	for _, a := range sortedKeys(m) {
-		p := m[a]
-		out = append(out, a, p.b)
-		if witness {
-			out = append(out, p.wu, p.wv)
+	pr.dstamp++
+	nst := pr.dstamp
+	nd := sc.nextNeed[:0]
+	for _, ed := range pr.active[i] {
+		if pr.seenAt[ed.a] != nst {
+			pr.seenAt[ed.a] = nst
+			nd = append(nd, ed.a)
+		}
+		if pr.seenAt[ed.b] != nst {
+			pr.seenAt[ed.b] = nst
+			nd = append(nd, ed.b)
 		}
 	}
-	return out
+	for _, v := range pr.homedVerts[i] {
+		if r := pr.label[v]; pr.seenAt[r] != nst {
+			pr.seenAt[r] = nst
+			nd = append(nd, r)
+		}
+	}
+	sc.nextNeed = nd
 }
 
-func decodePropsInto(dst map[uint64]prop, keys []uint64, witness bool) {
-	stride := 2
-	if witness {
-		stride = 4
+// prepProps builds witness-mode proposal minima from scratch: the packed
+// witness edge rides through a comparator sort so ties break on (wu, wv)
+// exactly as the map path did.
+func (pr *proto) prepProps(i int) {
+	prs := pr.scr[i].pairs[:0]
+	for _, ed := range pr.active[i] {
+		w := uint64(uint32(ed.wu))<<32 | uint64(uint32(ed.wv))
+		prs = append(prs,
+			propPair{k1: uint64(uint32(ed.a))<<32 | uint64(uint32(ed.b)), k2: w},
+			propPair{k1: uint64(uint32(ed.b))<<32 | uint64(uint32(ed.a)), k2: w})
 	}
-	for k := 0; k+stride <= len(keys); k += stride {
-		p := prop{b: keys[k+1]}
-		if witness {
-			p.wu, p.wv = keys[k+2], keys[k+3]
+	slices.SortFunc(prs, cmpPropPair)
+	pr.scr[i].pairs = compactMinPairs(prs)
+}
+
+// finalizeProps orders node i's precollected non-witness minima by label.
+func (pr *proto) finalizeProps(i int) {
+	sc := &pr.scr[i]
+	sc.k1s, sc.k1tmp = radixSortUint64(sc.k1s, sc.k1tmp)
+}
+
+// startProps prepares node i's proposal minima at the start of propose.
+func (pr *proto) startProps(i int) {
+	if pr.witness {
+		pr.prepProps(i)
+	} else {
+		pr.finalizeProps(i)
+	}
+}
+
+// numProps reports how many proposal minima node i currently holds.
+func (pr *proto) numProps(i int) int {
+	if pr.witness {
+		return len(pr.scr[i].pairs)
+	}
+	return len(pr.scr[i].k1s)
+}
+
+// propStride is the wire stride of one proposal.
+func (pr *proto) propStride() int {
+	if pr.witness {
+		return 4
+	}
+	return 2
+}
+
+// encodeProps serializes node i's sorted proposals (ascending label) into
+// an arena-backed payload.
+func (pr *proto) encodeProps(i int) []uint64 {
+	if pr.witness {
+		prs := pr.scr[i].pairs
+		outBuf := pr.slab(i).grab(4 * len(prs))
+		k := 0
+		for _, p := range prs {
+			outBuf[k] = p.k1 >> 32
+			outBuf[k+1] = p.k1 & 0xFFFFFFFF
+			outBuf[k+2] = p.k2 >> 32
+			outBuf[k+3] = p.k2 & 0xFFFFFFFF
+			k += 4
 		}
-		upd(dst, keys[k], p)
+		return outBuf
 	}
+	ks := pr.scr[i].k1s
+	outBuf := pr.slab(i).grab(2 * len(ks))
+	for j, k := range ks {
+		outBuf[2*j] = k >> 32
+		outBuf[2*j+1] = k & 0xFFFFFFFF
+	}
+	return outBuf
 }
 
 // propose turns every active edge into min-neighbor proposals for both
 // endpoint labels, min-combines them locally (and per block per level
 // under a combining schedule), delivers them to the label homes, and
-// min-merges them into pr.best.
+// min-merges them into the best-proposal arrays.
 func (pr *proto) propose() {
-	local := make([]map[uint64]prop, len(pr.nodes))
-	for i := range pr.nodes {
-		m := make(map[uint64]prop, 2*len(pr.active[i]))
-		for _, ed := range pr.active[i] {
-			upd(m, ed.a, prop{b: ed.b, wu: ed.wu, wv: ed.wv})
-			upd(m, ed.b, prop{b: ed.a, wu: ed.wu, wv: ed.wv})
-		}
-		local[i] = m
-	}
-	for _, st := range pr.steps {
-		st := st
+	for si := range pr.steps {
+		st := pr.steps[si]
+		first := si == 0
 		pr.round(func(i int, out *netsim.Outbox) {
-			if st.Target[i] != i && len(local[i]) > 0 {
-				out.Send(pr.nodes[st.Target[i]], tagProposeUp,
-					encodeProps(local[i], pr.witness))
+			if first {
+				pr.startProps(i)
+			}
+			if st.Target[i] != i && pr.numProps(i) > 0 {
+				out.Send(pr.nodes[st.Target[i]], tagProposeUp, pr.encodeProps(i))
 			}
 		})
-		merged := make([]map[uint64]prop, len(pr.nodes))
 		for i, v := range pr.nodes {
 			if st.Target[i] != i {
-				merged[i] = make(map[uint64]prop) // forwarded up
+				pr.scr[i].pairs = pr.scr[i].pairs[:0] // forwarded up
+				pr.scr[i].k1s = pr.scr[i].k1s[:0]
 				continue
 			}
-			merged[i] = local[i] // scratch maps; min-merge in place
-			for _, m := range pr.e.Inbox(v) {
-				if m.Tag == tagProposeUp {
-					decodePropsInto(merged[i], m.Keys, pr.witness)
+			grew := false
+			if pr.witness {
+				prs := pr.scr[i].pairs
+				for _, m := range pr.e.Inbox(v) {
+					if m.Tag == tagProposeUp {
+						grew = true
+						for k := 0; k+4 <= len(m.Keys); k += 4 {
+							prs = append(prs, propPair{
+								k1: m.Keys[k]<<32 | m.Keys[k+1],
+								k2: m.Keys[k+2]<<32 | m.Keys[k+3],
+							})
+						}
+					}
+				}
+				if grew {
+					slices.SortFunc(prs, cmpPropPair)
+					prs = compactMinPairs(prs)
+				}
+				pr.scr[i].pairs = prs
+			} else {
+				ks := pr.scr[i].k1s
+				for _, m := range pr.e.Inbox(v) {
+					if m.Tag == tagProposeUp {
+						grew = true
+						for k := 0; k+2 <= len(m.Keys); k += 2 {
+							ks = append(ks, m.Keys[k]<<32|m.Keys[k+1])
+						}
+					}
+				}
+				if grew {
+					ks, pr.scr[i].k1tmp = radixSortUint64(ks, pr.scr[i].k1tmp)
+					ks = compactMinK1(ks)
+				}
+				pr.scr[i].k1s = ks
+			}
+		}
+	}
+	direct := len(pr.steps) == 0
+	pr.round(func(i int, out *netsim.Outbox) {
+		if direct {
+			pr.startProps(i)
+		}
+		pr.emitProposals(i, out)
+	})
+	for _, v := range pr.nodes {
+		for _, m := range pr.e.Inbox(v) {
+			if m.Tag != tagPropose {
+				continue
+			}
+			if pr.witness {
+				for k := 0; k+4 <= len(m.Keys); k += 4 {
+					a, b := int32(m.Keys[k]), int32(m.Keys[k+1])
+					w := m.Keys[k+2]<<32 | m.Keys[k+3]
+					if pr.bestAt[a] != pr.phase || b < pr.bestB[a] ||
+						(b == pr.bestB[a] && w < pr.bestW[a]) {
+						pr.bestAt[a] = pr.phase
+						pr.bestB[a] = b
+						pr.bestW[a] = w
+					}
+				}
+			} else {
+				for k := 0; k+2 <= len(m.Keys); k += 2 {
+					a, b := int32(m.Keys[k]), int32(m.Keys[k+1])
+					if pr.bestAt[a] != pr.phase || b < pr.bestB[a] {
+						pr.bestAt[a] = pr.phase
+						pr.bestB[a] = b
+						pr.bestW[a] = 0
+					}
 				}
 			}
 		}
-		local = merged
 	}
-	pr.round(func(i int, out *netsim.Outbox) {
-		groups := make(map[int][]uint64)
-		for _, a := range sortedKeys(local[i]) {
-			h := pr.home(a)
-			p := local[i][a]
-			groups[h] = append(groups[h], a, p.b)
-			if pr.witness {
-				groups[h] = append(groups[h], p.wu, p.wv)
+}
+
+// emitProposals sends node i's per-label minima to the label homes, one
+// message per nonempty home, labels ascending within each — the minima are
+// already label-ascending, so the stable home radix preserves the wire
+// order. The minima lists are reordered in place; the next phase rebuilds
+// them from scratch.
+func (pr *proto) emitProposals(i int, out *netsim.Outbox) {
+	if pr.numProps(i) == 0 {
+		return
+	}
+	sc := &pr.scr[i]
+	stride := pr.propStride()
+	if pr.witness {
+		ps := sc.pairs
+		sortByHome(ps, &sc.ptmp, func(p propPair) int32 { return pr.homeOf[int32(p.k1>>32)] }, len(pr.nodes))
+		for s := 0; s < len(ps); {
+			h := pr.homeOf[int32(ps[s].k1>>32)]
+			e := s + 1
+			for e < len(ps) && pr.homeOf[int32(ps[e].k1>>32)] == h {
+				e++
 			}
-		}
-		pr.sendByHome(out, tagPropose, groups)
-	})
-	for i, v := range pr.nodes {
-		pr.best[i] = make(map[uint64]prop)
-		for _, m := range pr.e.Inbox(v) {
-			if m.Tag == tagPropose {
-				decodePropsInto(pr.best[i], m.Keys, pr.witness)
+			batch := pr.slab(i).grab(stride * (e - s))[:0]
+			for k := s; k < e; k++ {
+				batch = append(batch,
+					ps[k].k1>>32, ps[k].k1&0xFFFFFFFF, ps[k].k2>>32, ps[k].k2&0xFFFFFFFF)
 			}
+			out.Send(pr.nodes[h], tagPropose, batch)
+			s = e
 		}
+		return
+	}
+	ks := sc.k1s
+	sortByHome(ks, &sc.k1tmp, func(k uint64) int32 { return pr.homeOf[int32(k>>32)] }, len(pr.nodes))
+	for s := 0; s < len(ks); {
+		h := pr.homeOf[int32(ks[s]>>32)]
+		e := s + 1
+		for e < len(ks) && pr.homeOf[int32(ks[e]>>32)] == h {
+			e++
+		}
+		batch := pr.slab(i).grab(stride * (e - s))[:0]
+		for k := s; k < e; k++ {
+			batch = append(batch, ks[k]>>32, ks[k]&0xFFFFFFFF)
+		}
+		out.Send(pr.nodes[h], tagPropose, batch)
+		s = e
 	}
 }
 
@@ -273,17 +808,20 @@ func (pr *proto) propose() {
 func (pr *proto) hook() int {
 	unresolved := 0
 	for i := range pr.nodes {
-		pr.parent[i] = make(map[uint64]uint64)
-		pr.rootOf[i] = make(map[uint64]uint64)
-		for _, a := range sortedKeys(pr.alive[i]) {
-			if p, ok := pr.best[i][a]; ok && p.b < a {
-				pr.parent[i][a] = p.b
+		pr.hooked[i] = pr.hooked[i][:0]
+		for _, a := range pr.aliveList[i] {
+			if pr.bestAt[a] == pr.phase && pr.bestB[a] < a {
+				pr.parAt[a] = pr.phase
+				pr.parPtr[a] = pr.bestB[a]
+				pr.hooked[i] = append(pr.hooked[i], a)
 				if pr.witness {
-					pr.forest[i] = append(pr.forest[i], Edge{U: p.wu, V: p.wv})
+					w := pr.bestW[a]
+					pr.forest[i] = append(pr.forest[i], Edge{U: pr.ids[w>>32], V: pr.ids[w&0xFFFFFFFF]})
 				}
 				unresolved++
 			} else {
-				pr.rootOf[i][a] = a
+				pr.rootAt[a] = pr.phase
+				pr.rootVal[a] = a
 			}
 		}
 	}
@@ -302,19 +840,14 @@ func (pr *proto) jump(unresolved int) error {
 			return fmt.Errorf("graph: pointer jumping did not converge after %d iterations", maxJumpIters)
 		}
 		// Queries: one per distinct pointer target per node.
-		waiting := make([]map[uint64][]uint64, len(pr.nodes))
 		pr.round(func(i int, out *netsim.Outbox) {
-			w := make(map[uint64][]uint64)
-			for _, a := range sortedKeys(pr.parent[i]) {
-				q := pr.parent[i][a]
-				w[q] = append(w[q], a)
+			qs := pr.scr[i].need[:0]
+			for _, a := range pr.hooked[i] {
+				qs = append(qs, pr.parPtr[a])
 			}
-			waiting[i] = w
-			groups := make(map[int][]uint64)
-			for _, q := range sortedKeys(w) {
-				groups[pr.home(q)] = append(groups[pr.home(q)], q)
-			}
-			pr.sendByHome(out, tagJumpQ, groups)
+			qs = pr.sortDedup(i, qs)
+			pr.scr[i].need = qs
+			pr.emitIndexGroups(i, out, tagJumpQ, qs)
 		})
 		// Replies: root when the target is resolved, one pointer step
 		// otherwise.
@@ -323,165 +856,210 @@ func (pr *proto) jump(unresolved int) error {
 				if m.Tag != tagJumpQ {
 					continue
 				}
-				var roots, steps []uint64
-				for _, q := range m.Keys {
-					if r, ok := pr.rootOf[j][q]; ok {
-						roots = append(roots, q, r)
-					} else if pq, ok := pr.parent[j][q]; ok {
-						steps = append(steps, q, pq)
+				nr, ns := 0, 0
+				for _, qk := range m.Keys {
+					q := int32(qk)
+					if pr.rootAt[q] == pr.phase {
+						nr++
+					} else if pr.parAt[q] == pr.phase {
+						ns++
 					}
 				}
-				if len(roots) > 0 {
+				roots := pr.slab(j).grab(2 * nr)
+				stepsBuf := pr.slab(j).grab(2 * ns)
+				kr, ks := 0, 0
+				for _, qk := range m.Keys {
+					q := int32(qk)
+					if pr.rootAt[q] == pr.phase {
+						roots[kr] = qk
+						roots[kr+1] = uint64(uint32(pr.rootVal[q]))
+						kr += 2
+					} else if pr.parAt[q] == pr.phase {
+						stepsBuf[ks] = qk
+						stepsBuf[ks+1] = uint64(uint32(pr.parPtr[q]))
+						ks += 2
+					}
+				}
+				if nr > 0 {
 					out.Send(m.From, tagJumpRoot, roots)
 				}
-				if len(steps) > 0 {
-					out.Send(m.From, tagJumpStep, steps)
+				if ns > 0 {
+					out.Send(m.From, tagJumpStep, stepsBuf)
 				}
 			}
 		})
-		unresolved = 0
-		for i, v := range pr.nodes {
+		// Receipt: decode every reply into the per-iteration snapshot
+		// arrays (replies about the same label are identical), then advance
+		// each still-hooked label by one answer.
+		pr.jstamp++
+		st := pr.jstamp
+		for _, v := range pr.nodes {
 			for _, m := range pr.e.Inbox(v) {
 				switch m.Tag {
 				case tagJumpRoot:
 					for k := 0; k+1 < len(m.Keys); k += 2 {
-						q, r := m.Keys[k], m.Keys[k+1]
-						for _, a := range waiting[i][q] {
-							pr.rootOf[i][a] = r
-							delete(pr.parent[i], a)
-						}
+						q := int32(m.Keys[k])
+						pr.jrAt[q] = st
+						pr.jrRoot[q] = true
+						pr.jrVal[q] = int32(m.Keys[k+1])
 					}
 				case tagJumpStep:
 					for k := 0; k+1 < len(m.Keys); k += 2 {
-						q, pq := m.Keys[k], m.Keys[k+1]
-						for _, a := range waiting[i][q] {
-							pr.parent[i][a] = pq
-						}
+						q := int32(m.Keys[k])
+						pr.jrAt[q] = st
+						pr.jrRoot[q] = false
+						pr.jrVal[q] = int32(m.Keys[k+1])
 					}
 				}
 			}
-			unresolved += len(pr.parent[i])
+		}
+		unresolved = 0
+		for i := range pr.nodes {
+			keep := pr.hooked[i][:0]
+			for _, a := range pr.hooked[i] {
+				if q := pr.parPtr[a]; pr.jrAt[q] == st {
+					if pr.jrRoot[q] {
+						pr.rootAt[a] = pr.phase
+						pr.rootVal[a] = pr.jrVal[q]
+					} else {
+						pr.parPtr[a] = pr.jrVal[q]
+					}
+				}
+				if pr.rootAt[a] != pr.phase {
+					keep = append(keep, a)
+				}
+			}
+			pr.hooked[i] = keep
+			unresolved += len(keep)
 		}
 	}
 	return nil
 }
 
-// lookups fetches the phase roots every node needs — the endpoint labels
-// of its active edges plus the current labels of its homed vertices — and
-// returns the per-node label → root maps. Direct mode is a query/reply
-// pair; under a combining schedule, queries are deduplicated along the
-// hierarchy (each engaged level's combiner unions its members' needs
-// before they cross that level's cut), the top carriers query the homes
-// once per distinct label, and the answers fan back down the same chain,
-// so a hot label's root crosses each engaged cut once per block per
-// level.
-func (pr *proto) lookups() []map[uint64]uint64 {
-	needs := make([]map[uint64]bool, len(pr.nodes))
-	for i := range pr.nodes {
-		nd := make(map[uint64]bool)
-		for _, ed := range pr.active[i] {
-			nd[ed.a] = true
-			nd[ed.b] = true
-		}
-		for _, l := range pr.labelOf[i] {
-			nd[l] = true
-		}
-		needs[i] = nd
-	}
+// finalizeNeeds orders node i's precollected distinct lookup needs.
+func (pr *proto) finalizeNeeds(i int) {
+	sc := &pr.scr[i]
+	sc.nextNeed, sc.ndtmp = radixSortInt32(sc.nextNeed, sc.ndtmp)
+}
 
+// lookups fetches the phase roots every node needs — the endpoint labels
+// of its active edges plus the current labels of its homed vertices.
+// Direct mode is a query/reply pair; under a combining schedule, queries
+// are deduplicated along the hierarchy (each engaged level's combiner
+// unions its members' needs before they cross that level's cut), the top
+// carriers query the homes once per distinct label, and the answers fan
+// back down the same chain, so a hot label's root crosses each engaged cut
+// once per block per level.
+//
+// Every alive label's root is resolved once jumping finishes, so the
+// rootAt/rootVal arrays already hold exactly the answers the wire carries;
+// replies are generated from them directly and the delivered payloads need
+// no per-node answer table — the messages exist for the cost model, which
+// accounts them identically to the map path.
+func (pr *proto) lookups() {
 	if len(pr.steps) == 0 {
 		pr.round(func(i int, out *netsim.Outbox) {
-			groups := make(map[int][]uint64)
-			for _, a := range sortedKeys(needs[i]) {
-				groups[pr.home(a)] = append(groups[pr.home(a)], a)
-			}
-			pr.sendByHome(out, tagLookupQ, groups)
+			pr.finalizeNeeds(i)
+			pr.emitIndexGroups(i, out, tagLookupQ, pr.scr[i].nextNeed)
 		})
 		pr.replyLookups()
-		return pr.collectRoots(tagLookupA)
+		return
 	}
 
 	// Up-sweep: members push their needs one level at a time; each engaged
 	// combiner records who asked for what (to fan the answers back) and
 	// carries the union upward.
-	type memberNeed struct {
-		from   topology.NodeID
-		labels []uint64
+	for i := range pr.nodes {
+		pr.scr[i].needBuf = pr.scr[i].needBuf[:0]
+		if cap(pr.scr[i].members) < len(pr.steps) {
+			pr.scr[i].members = make([][]memberNeed, len(pr.steps))
+		}
+		pr.scr[i].members = pr.scr[i].members[:len(pr.steps)]
+		for s := range pr.scr[i].members {
+			pr.scr[i].members[s] = pr.scr[i].members[s][:0]
+		}
 	}
-	perStep := make([][][]memberNeed, len(pr.steps))
-	carry := needs
-	for s, st := range pr.steps {
-		st := st
+	for si := range pr.steps {
+		st := pr.steps[si]
+		first := si == 0
 		pr.round(func(i int, out *netsim.Outbox) {
+			if first {
+				pr.finalizeNeeds(i)
+			}
 			if st.Target[i] == i {
 				return
 			}
-			if batch := sortedKeys(carry[i]); len(batch) > 0 {
+			if nd := pr.scr[i].nextNeed; len(nd) > 0 {
+				batch := pr.slab(i).grab(len(nd))
+				for k, x := range nd {
+					batch[k] = uint64(uint32(x))
+				}
 				out.Send(pr.nodes[st.Target[i]], tagLookupUp, batch)
 			}
 		})
-		perStep[s] = make([][]memberNeed, len(pr.nodes))
-		next := make([]map[uint64]bool, len(pr.nodes))
 		for i, v := range pr.nodes {
 			if st.Target[i] != i {
-				next[i] = make(map[uint64]bool) // forwarded up
+				pr.scr[i].nextNeed = pr.scr[i].nextNeed[:0] // forwarded up
 				continue
 			}
-			m := carry[i]
+			nd := pr.scr[i].nextNeed
+			grew := false
 			for _, msg := range pr.e.Inbox(v) {
 				if msg.Tag != tagLookupUp {
 					continue
 				}
-				perStep[s][i] = append(perStep[s][i], memberNeed{from: msg.From, labels: msg.Keys})
-				for _, a := range msg.Keys {
-					m[a] = true
+				grew = true
+				lo := int32(len(pr.scr[i].needBuf))
+				for _, xk := range msg.Keys {
+					pr.scr[i].needBuf = append(pr.scr[i].needBuf, int32(xk))
+					nd = append(nd, int32(xk))
 				}
+				pr.scr[i].members[si] = append(pr.scr[i].members[si],
+					memberNeed{from: msg.From, lo: lo, hi: int32(len(pr.scr[i].needBuf))})
 			}
-			next[i] = m
+			if grew {
+				nd = pr.sortDedup(i, nd)
+			}
+			pr.scr[i].nextNeed = nd
 		}
-		carry = next
 	}
 
 	// Top carriers query the homes once per distinct label; homes reply.
 	pr.round(func(i int, out *netsim.Outbox) {
-		groups := make(map[int][]uint64)
-		for _, a := range sortedKeys(carry[i]) {
-			groups[pr.home(a)] = append(groups[pr.home(a)], a)
-		}
-		pr.sendByHome(out, tagLookupQ, groups)
+		pr.emitIndexGroups(i, out, tagLookupQ, pr.scr[i].nextNeed)
 	})
 	pr.replyLookups()
-	rootAt := pr.collectRoots(tagLookupA)
 
 	// Down-sweep, coarsest level first: combiners answer each recorded
-	// member exactly what it asked for, so deeper combiners hold their
-	// roots before answering their own members.
+	// member exactly what it asked for. By the time a level replies, every
+	// label a member asked for is resolved, so the phase-root arrays hold
+	// precisely the answers the combiner received from above.
 	for s := len(pr.steps) - 1; s >= 0; s-- {
 		pr.round(func(j int, out *netsim.Outbox) {
-			for _, mn := range perStep[s][j] {
-				reply := make([]uint64, 0, 2*len(mn.labels))
-				for _, a := range mn.labels {
-					if r, ok := rootAt[j][a]; ok {
-						reply = append(reply, a, r)
+			for _, mn := range pr.scr[j].members[s] {
+				asked := pr.scr[j].needBuf[mn.lo:mn.hi]
+				cnt := 0
+				for _, a := range asked {
+					if pr.rootAt[a] == pr.phase {
+						cnt++
 					}
 				}
-				if len(reply) > 0 {
-					out.Send(mn.from, tagLookupDown, reply)
-				}
-			}
-		})
-		for i, v := range pr.nodes {
-			for _, m := range pr.e.Inbox(v) {
-				if m.Tag != tagLookupDown {
+				if cnt == 0 {
 					continue
 				}
-				for k := 0; k+1 < len(m.Keys); k += 2 {
-					rootAt[i][m.Keys[k]] = m.Keys[k+1]
+				reply := pr.slab(j).grab(2 * cnt)
+				k := 0
+				for _, a := range asked {
+					if pr.rootAt[a] == pr.phase {
+						reply[k] = uint64(uint32(a))
+						reply[k+1] = uint64(uint32(pr.rootVal[a]))
+						k += 2
+					}
 				}
+				out.Send(mn.from, tagLookupDown, reply)
 			}
-		}
+		})
 	}
-	return rootAt
 }
 
 // replyLookups plans the home side of a lookup round: answer every queried
@@ -492,64 +1070,61 @@ func (pr *proto) replyLookups() {
 			if m.Tag != tagLookupQ {
 				continue
 			}
-			reply := make([]uint64, 0, 2*len(m.Keys))
-			for _, a := range m.Keys {
-				if r, ok := pr.rootOf[j][a]; ok {
-					reply = append(reply, a, r)
+			cnt := 0
+			for _, ak := range m.Keys {
+				if pr.rootAt[int32(ak)] == pr.phase {
+					cnt++
 				}
 			}
-			if len(reply) > 0 {
-				out.Send(m.From, tagLookupA, reply)
+			if cnt == 0 {
+				continue
 			}
+			reply := pr.slab(j).grab(2 * cnt)
+			k := 0
+			for _, ak := range m.Keys {
+				a := int32(ak)
+				if pr.rootAt[a] == pr.phase {
+					reply[k] = ak
+					reply[k+1] = uint64(uint32(pr.rootVal[a]))
+					k += 2
+				}
+			}
+			out.Send(m.From, tagLookupA, reply)
 		}
 	})
 }
 
-func (pr *proto) collectRoots(tag netsim.Tag) []map[uint64]uint64 {
-	rmap := make([]map[uint64]uint64, len(pr.nodes))
-	for i, v := range pr.nodes {
-		rmap[i] = make(map[uint64]uint64)
-		for _, m := range pr.e.Inbox(v) {
-			if m.Tag != tag {
-				continue
-			}
-			for k := 0; k+1 < len(m.Keys); k += 2 {
-				rmap[i][m.Keys[k]] = m.Keys[k+1]
-			}
-		}
-	}
-	return rmap
-}
-
 // relabel rewrites every active edge onto the phase roots, dropping edges
-// that became internal, updates the homed vertex labels, and retires the
-// labels that hooked.
-func (pr *proto) relabel(rmap []map[uint64]uint64) error {
+// that became internal, updates the homed vertex labels, retires the
+// labels that hooked, and pre-collects the next phase's proposal minima
+// and lookup needs while the state is hot.
+func (pr *proto) relabel() error {
 	for i := range pr.nodes {
 		out := pr.active[i][:0]
 		for _, ed := range pr.active[i] {
-			ra, ok1 := rmap[i][ed.a]
-			rb, ok2 := rmap[i][ed.b]
-			if !ok1 || !ok2 {
-				return fmt.Errorf("graph: node %d missing root for edge label (%d,%d)", i, ed.a, ed.b)
+			if pr.rootAt[ed.a] != pr.phase || pr.rootAt[ed.b] != pr.phase {
+				return fmt.Errorf("graph: node %d missing root for edge label (%d,%d)", i, pr.ids[ed.a], pr.ids[ed.b])
 			}
+			ra, rb := pr.rootVal[ed.a], pr.rootVal[ed.b]
 			if ra != rb {
 				out = append(out, workEdge{a: ra, b: rb, wu: ed.wu, wv: ed.wv})
 			}
 		}
 		pr.active[i] = out
-		for v, l := range pr.labelOf[i] {
-			r, ok := rmap[i][l]
-			if !ok {
-				return fmt.Errorf("graph: node %d missing root for vertex label %d", i, l)
+		for _, v := range pr.homedVerts[i] {
+			if pr.rootAt[pr.label[v]] != pr.phase {
+				return fmt.Errorf("graph: node %d missing root for vertex label %d", i, pr.ids[pr.label[v]])
 			}
-			pr.labelOf[i][v] = r
+			pr.label[v] = pr.rootVal[pr.label[v]]
 		}
-		for _, a := range sortedKeys(pr.alive[i]) {
-			if pr.rootOf[i][a] != a {
-				delete(pr.alive[i], a)
+		keep := pr.aliveList[i][:0]
+		for _, a := range pr.aliveList[i] {
+			if pr.rootVal[a] == a && pr.rootAt[a] == pr.phase {
+				keep = append(keep, a)
 			}
 		}
+		pr.aliveList[i] = keep
+		pr.collectNext(i)
 	}
 	return nil
 }
@@ -568,9 +1143,12 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 	}
 	p := tr.NumCompute()
 	nodes := tr.ComputeNodes()
-	idx := make(map[topology.NodeID]int, p)
+	nodeIdx := make([]int32, tr.NumNodes())
+	for i := range nodeIdx {
+		nodeIdx[i] = -1
+	}
 	for i, v := range nodes {
-		idx[v] = i
+		nodeIdx[v] = int32(i)
 	}
 
 	var weights []float64
@@ -595,42 +1173,96 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		}
 	}
 
-	pr := &proto{
-		t:       tr,
-		e:       netsim.NewEngine(tr, opts...),
-		nodes:   nodes,
-		idx:     idx,
-		home:    chooser.Choose,
-		steps:   steps,
-		witness: witness,
-		active:  make([][]workEdge, p),
-		labelOf: make([]map[uint64]uint64, p),
-		alive:   make([]map[uint64]bool, p),
-		best:    make([]map[uint64]prop, p),
-		parent:  make([]map[uint64]uint64, p),
-		rootOf:  make([]map[uint64]uint64, p),
+	// Renumbering pass: sorted distinct vertex ids become the dense index
+	// space. Sorting keeps index order equal to id order, so every
+	// min-label comparison downstream is unchanged.
+	total := 0
+	for _, frag := range edges {
+		total += len(frag)
 	}
+	all := make([]uint64, 0, 2*total)
+	for _, frag := range edges {
+		for _, ed := range frag {
+			all = append(all, ed.U, ed.V)
+		}
+	}
+	all, _ = radixSortUint64(all, nil)
+	ids := slices.Compact(all)
+	nV := len(ids)
+
+	// Dense inputs (ids packed near 0..n) get a direct id -> index table;
+	// sparse or hashed id spaces fall back to binary search.
+	var idToIdx []int32
+	if nV > 0 {
+		if maxID := ids[nV-1]; maxID <= uint64(4*nV)+1024 {
+			idToIdx = make([]int32, maxID+1)
+			for k, id := range ids {
+				idToIdx[id] = int32(k)
+			}
+		}
+	}
+
+	homeOf := make([]int32, nV)
+	for k, id := range ids {
+		homeOf[k] = int32(chooser.Choose(id))
+	}
+
+	pr := &proto{
+		t:          tr,
+		e:          netsim.NewEngine(tr, opts...),
+		nodes:      nodes,
+		nodeIdx:    nodeIdx,
+		steps:      steps,
+		witness:    witness,
+		ids:        ids,
+		idToIdx:    idToIdx,
+		homeOf:     homeOf,
+		active:     make([][]workEdge, p),
+		label:      make([]int32, nV),
+		registered: make([]bool, nV),
+		bestAt:     make([]int32, nV),
+		bestB:      make([]int32, nV),
+		bestW:      make([]uint64, nV),
+		parAt:      make([]int32, nV),
+		parPtr:     make([]int32, nV),
+		rootAt:     make([]int32, nV),
+		rootVal:    make([]int32, nV),
+		jrAt:       make([]int32, nV),
+		jrVal:      make([]int32, nV),
+		jrRoot:     make([]bool, nV),
+		seenAt:     make([]int32, nV),
+		minAt:      make([]int32, nV),
+		minB:       make([]int32, nV),
+		homedVerts: make([][]int32, p),
+		aliveList:  make([][]int32, p),
+		hooked:     make([][]int32, p),
+		scr:        make([]nodeScratch, p),
+	}
+	pr.arenas[0] = make([]payloadSlab, p)
+	pr.arenas[1] = make([]payloadSlab, p)
 	if witness {
 		pr.forest = make([][]Edge, p)
 	}
 
-	verts := make([]map[uint64]bool, p)
 	for i, frag := range edges {
-		verts[i] = make(map[uint64]bool, 2*len(frag))
+		nd := pr.scr[i].need
 		for _, ed := range frag {
-			verts[i][ed.U] = true
-			verts[i][ed.V] = true
-			if ed.U != ed.V {
-				pr.active[i] = append(pr.active[i], workEdge{a: ed.U, b: ed.V, wu: ed.U, wv: ed.V})
+			u, v := pr.idxOf(ed.U), pr.idxOf(ed.V)
+			nd = append(nd, u, v)
+			if u != v {
+				pr.active[i] = append(pr.active[i], workEdge{a: u, b: v, wu: u, wv: v})
 			}
 		}
-	}
-	for i := range pr.labelOf {
-		pr.labelOf[i] = make(map[uint64]uint64)
-		pr.alive[i] = make(map[uint64]bool)
+		pr.scr[i].need = nd
 	}
 
-	pr.register(verts)
+	pr.register()
+
+	// Phase 1's planning inputs come from the initial placement: label[v]
+	// is v, so needs are the endpoints plus homed vertices as-is.
+	for i := range pr.nodes {
+		pr.collectNext(i)
+	}
 
 	phases := 0
 	for pr.totalActive() > 0 {
@@ -638,11 +1270,13 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 			return nil, fmt.Errorf("graph: contraction did not converge after %d phases", maxPhases)
 		}
 		phases++
+		pr.phase = int32(phases)
 		pr.propose()
 		if err := pr.jump(pr.hook()); err != nil {
 			return nil, err
 		}
-		if err := pr.relabel(pr.lookups()); err != nil {
+		pr.lookups()
+		if err := pr.relabel(); err != nil {
 			return nil, err
 		}
 	}
@@ -653,11 +1287,15 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		Strategy: strategy,
 	}
 	for i := range nodes {
-		res.PerNode[i] = pr.labelOf[i]
-		res.Components += int64(len(pr.alive[i]))
+		m := make(map[uint64]uint64, len(pr.homedVerts[i]))
+		for _, v := range pr.homedVerts[i] {
+			m[pr.ids[v]] = pr.ids[pr.label[v]]
+		}
+		res.PerNode[i] = m
+		res.Components += int64(len(pr.aliveList[i]))
 		// The homes partition the vertices, so summing the per-home
 		// fingerprints equals Checksum over the merged labeling.
-		res.Checksum += Checksum(pr.labelOf[i])
+		res.Checksum += Checksum(m)
 	}
 	if witness {
 		for i := range nodes {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"topompc/internal/hashing"
@@ -20,25 +21,40 @@ type Ref struct {
 	Checksum uint64
 }
 
-// unionFind is a plain path-halving union-by-size forest over arbitrary
-// uint64 vertex ids.
+// unionFind is a slice-based path-halving union-by-size forest over a
+// renumbered vertex set: arbitrary uint64 ids are mapped onto dense
+// indices once (sorted, so index order equals id order) and the forest
+// itself is two flat arrays.
 type unionFind struct {
-	parent map[uint64]uint64
-	size   map[uint64]int64
+	ids    []uint64 // sorted distinct vertex ids; position = index
+	parent []int32
+	size   []int32
 }
 
-func newUnionFind() *unionFind {
-	return &unionFind{parent: make(map[uint64]uint64), size: make(map[uint64]int64)}
-}
-
-func (u *unionFind) add(v uint64) {
-	if _, ok := u.parent[v]; !ok {
-		u.parent[v] = v
-		u.size[v] = 1
+// newUnionFind builds the forest over the distinct ids appearing in verts
+// (duplicates welcome; the slice is consumed as scratch).
+func newUnionFind(verts []uint64) *unionFind {
+	slices.Sort(verts)
+	ids := slices.Compact(verts)
+	u := &unionFind{
+		ids:    ids,
+		parent: make([]int32, len(ids)),
+		size:   make([]int32, len(ids)),
 	}
+	for k := range u.parent {
+		u.parent[k] = int32(k)
+		u.size[k] = 1
+	}
+	return u
 }
 
-func (u *unionFind) find(v uint64) uint64 {
+// index resolves an id known to be in the vertex set.
+func (u *unionFind) index(v uint64) int32 {
+	k, _ := slices.BinarySearch(u.ids, v)
+	return int32(k)
+}
+
+func (u *unionFind) find(v int32) int32 {
 	for u.parent[v] != v {
 		u.parent[v] = u.parent[u.parent[v]]
 		v = u.parent[v]
@@ -48,7 +64,7 @@ func (u *unionFind) find(v uint64) uint64 {
 
 // union merges the components of a and b; it reports false when they were
 // already connected.
-func (u *unionFind) union(a, b uint64) bool {
+func (u *unionFind) union(a, b int32) bool {
 	ra, rb := u.find(a), u.find(b)
 	if ra == rb {
 		return false
@@ -75,29 +91,42 @@ func Checksum(labels map[uint64]uint64) uint64 {
 // Reference computes components, canonical min-labels, and the labeling
 // checksum centrally with union-find.
 func Reference(edges Placement) *Ref {
-	u := newUnionFind()
+	total := 0
+	for _, frag := range edges {
+		total += len(frag)
+	}
+	verts := make([]uint64, 0, 2*total)
 	for _, frag := range edges {
 		for _, e := range frag {
-			u.add(e.U)
-			u.add(e.V)
+			verts = append(verts, e.U, e.V)
+		}
+	}
+	u := newUnionFind(verts)
+	for _, frag := range edges {
+		for _, e := range frag {
 			if e.U != e.V {
-				u.union(e.U, e.V)
+				u.union(u.index(e.U), u.index(e.V))
 			}
 		}
 	}
-	// Canonicalize: the representative of each component becomes its
-	// minimum vertex.
-	minOf := make(map[uint64]uint64)
-	for v := range u.parent {
-		r := u.find(v)
-		if m, ok := minOf[r]; !ok || v < m {
-			minOf[r] = v
+	// Canonicalize: the minimum vertex of each component is the first of
+	// its indices in ascending order, since index order equals id order.
+	n := len(u.ids)
+	minOf := make([]int32, n)
+	for k := range minOf {
+		minOf[k] = -1
+	}
+	count := int64(0)
+	labels := make(map[uint64]uint64, n)
+	for k := 0; k < n; k++ {
+		r := u.find(int32(k))
+		if minOf[r] < 0 {
+			minOf[r] = int32(k)
+			count++
 		}
+		labels[u.ids[k]] = u.ids[minOf[r]]
 	}
-	ref := &Ref{Count: int64(len(minOf)), Labels: make(map[uint64]uint64, len(u.parent))}
-	for v := range u.parent {
-		ref.Labels[v] = minOf[u.find(v)]
-	}
+	ref := &Ref{Count: count, Labels: labels}
 	ref.Checksum = Checksum(ref.Labels)
 	return ref
 }
@@ -108,10 +137,11 @@ func Reference(edges Placement) *Ref {
 // components (which, with |forest| = |V| − Count implied by the union
 // count, makes it spanning).
 func VerifyForest(ref *Ref, forest []Edge) error {
-	u := newUnionFind()
+	verts := make([]uint64, 0, len(ref.Labels))
 	for v := range ref.Labels {
-		u.add(v)
+		verts = append(verts, v)
 	}
+	u := newUnionFind(verts)
 	for _, e := range forest {
 		lu, ok1 := ref.Labels[e.U]
 		lv, ok2 := ref.Labels[e.V]
@@ -121,7 +151,7 @@ func VerifyForest(ref *Ref, forest []Edge) error {
 		if lu != lv {
 			return fmt.Errorf("graph: forest edge (%d,%d) crosses components %d and %d", e.U, e.V, lu, lv)
 		}
-		if !u.union(e.U, e.V) {
+		if !u.union(u.index(e.U), u.index(e.V)) {
 			return fmt.Errorf("graph: forest edge (%d,%d) closes a cycle", e.U, e.V)
 		}
 	}

@@ -1,0 +1,106 @@
+package place
+
+import (
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+// skewedThreeTier builds the asymmetric three-tier gradient the
+// parent-relative option is aimed at: two identical pods behind thin
+// 3-bandwidth core links, each pod holding a heavy rack (4 leaves behind a
+// 40-uplink) and a light rack (1 leaf behind a 6-uplink), leaf links 48.
+// Under Capacities the heavy rack carries 40/46 ≈ 87% of its pod's weight
+// but only ≈43% of the machine's: a majority of its parent, a minority of
+// the total.
+func skewedThreeTier(t testing.TB) *topology.Tree {
+	t.Helper()
+	b := topology.NewBuilder()
+	core := b.Router("core")
+	leaf := 0
+	for p := 0; p < 2; p++ {
+		pod := b.Router("")
+		b.Link(pod, core, 3)
+		heavy := b.Router("")
+		b.Link(heavy, pod, 40)
+		for j := 0; j < 4; j++ {
+			leaf++
+			v := b.Compute("")
+			b.Link(v, heavy, 48)
+		}
+		light := b.Router("")
+		b.Link(light, pod, 6)
+		leaf++
+		v := b.Compute("")
+		b.Link(v, light, 48)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestCombinePaysParentRelative pins the option's decision table on the
+// skewed gradient: the default total-relative test engages the heavy racks
+// (43% of total is a minority), the parent-relative test skips them (87%
+// of the pod is a majority — the pod-level merge lands inside the heavy
+// rack anyway), and the pod level is identical in both modes.
+func TestCombinePaysParentRelative(t *testing.T) {
+	tr := skewedThreeTier(t)
+	w := Capacities(tr)
+	h := NewHierarchy(tr, w)
+	if h == nil || h.Depth() != 2 {
+		t.Fatalf("hierarchy depth = %v, want 2 levels (pods, racks)", h)
+	}
+
+	def := h.CombinePays(w)
+	rel := h.CombinePaysOpt(w, CombineOptions{ParentRelative: true})
+
+	// Level 0 (pods): both pods are exactly half the total — pay in both
+	// modes (level 0's parent is the machine, so the option is a no-op).
+	for b := range def[0] {
+		if !def[0][b] || !rel[0][b] {
+			t.Errorf("pod block %d: pays default=%v parent-relative=%v, want true/true", b, def[0][b], rel[0][b])
+		}
+	}
+
+	// Level 1 (racks): default engages exactly the two heavy racks;
+	// parent-relative engages nothing.
+	defEngaged, relEngaged := 0, 0
+	for b := range def[1] {
+		if def[1][b] {
+			defEngaged++
+			if n := len(h.Levels[1].Blocks[b]); n != 4 {
+				t.Errorf("default engages a %d-member rack, want only the 4-leaf racks", n)
+			}
+		}
+		if rel[1][b] {
+			relEngaged++
+		}
+	}
+	if defEngaged != 2 {
+		t.Errorf("default engages %d rack blocks, want 2 (the heavy racks)", defEngaged)
+	}
+	if relEngaged != 0 {
+		t.Errorf("parent-relative engages %d rack blocks, want 0", relEngaged)
+	}
+
+	// The schedule shortens accordingly: the rack-level step disappears.
+	if got, want := len(h.UpSweep(w)), 2; got != want {
+		t.Errorf("default UpSweep has %d steps, want %d", got, want)
+	}
+	if got, want := len(h.UpSweepOpt(w, CombineOptions{ParentRelative: true})), 1; got != want {
+		t.Errorf("parent-relative UpSweep has %d steps, want %d", got, want)
+	}
+
+	// Zero options reproduce the default bit for bit.
+	zero := h.CombinePaysOpt(w, CombineOptions{})
+	for k := range def {
+		for b := range def[k] {
+			if def[k][b] != zero[k][b] {
+				t.Fatalf("level %d block %d: zero-option CombinePaysOpt diverges from CombinePays", k, b)
+			}
+		}
+	}
+}

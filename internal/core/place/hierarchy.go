@@ -188,6 +188,20 @@ func (h *Hierarchy) BlockWeights(level int, weights []float64) []float64 {
 	return out
 }
 
+// CombineOptions tunes the combining-pays decision of CombinePaysOpt and
+// UpSweepOpt. The zero value reproduces CombinePays and UpSweep exactly.
+type CombineOptions struct {
+	// ParentRelative compares each block's weight against its parent
+	// block's weight instead of the global total (the coarsest level,
+	// whose parent is the whole machine, is unaffected). The default
+	// total-relative test over-engages on bandwidth gradients: a block
+	// holding a minority of the machine but a majority of its parent has
+	// most of the surviving duplicates merged at the parent's combiner
+	// one level up anyway, so its own merge round buys little cut traffic
+	// and costs a full extra round on the block's internal links.
+	ParentRelative bool
+}
+
 // CombinePays is the per-level generalization of BlockPlan.MinorityBlocks:
 // for every level it flags the blocks where a merge round pays off under
 // weight-proportional homing. A block pays when it has at least two
@@ -197,11 +211,17 @@ func (h *Hierarchy) BlockWeights(level int, weights []float64) []float64 {
 // — and it is not identical to its parent block, which already merged one
 // level up. Weights are indexed in ComputeNodes order.
 func (h *Hierarchy) CombinePays(weights []float64) [][]bool {
+	return h.CombinePaysOpt(weights, CombineOptions{})
+}
+
+// CombinePaysOpt is CombinePays under explicit CombineOptions.
+func (h *Hierarchy) CombinePaysOpt(weights []float64, opt CombineOptions) [][]bool {
 	var total float64
 	for _, w := range weights {
 		total += w
 	}
 	out := make([][]bool, len(h.Levels))
+	var parentW []float64 // level k-1 block weights (parent-relative mode)
 	for k, plan := range h.Levels {
 		pays := make([]bool, len(plan.Blocks))
 		for b, members := range plan.Blocks {
@@ -218,9 +238,16 @@ func (h *Hierarchy) CombinePays(weights []float64) [][]bool {
 			for _, i := range members {
 				w += weights[i]
 			}
-			pays[b] = minorityPays(w, total)
+			denom := total
+			if opt.ParentRelative && k > 0 {
+				denom = parentW[h.Parents[k][b]]
+			}
+			pays[b] = minorityPays(w, denom)
 		}
 		out[k] = pays
+		if opt.ParentRelative {
+			parentW = h.BlockWeights(k, weights)
+		}
 	}
 	return out
 }
@@ -246,7 +273,14 @@ type UpStep struct {
 // schedule means combining pays nowhere and a single direct round is
 // optimal.
 func (h *Hierarchy) UpSweep(weights []float64) []UpStep {
-	pays := h.CombinePays(weights)
+	return h.UpSweepOpt(weights, CombineOptions{})
+}
+
+// UpSweepOpt is UpSweep under explicit CombineOptions: with ParentRelative
+// set, levels whose every block holds a majority of its parent drop out of
+// the schedule entirely, shortening the sweep on skewed gradients.
+func (h *Hierarchy) UpSweepOpt(weights []float64, opt CombineOptions) []UpStep {
+	pays := h.CombinePaysOpt(weights, opt)
 	var steps []UpStep
 	for k := len(h.Levels) - 1; k >= 0; k-- {
 		plan := h.Levels[k]

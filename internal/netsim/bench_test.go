@@ -10,14 +10,14 @@ import (
 // benchCaterpillar builds a deep caterpillar: a 256-router spine with one
 // compute leg per router (512 nodes total), the worst case for per-message
 // path walking because a random unicast crosses O(spine length) links.
-func benchCaterpillar(b *testing.B) *topology.Tree {
+func benchCaterpillar(tb testing.TB) *topology.Tree {
 	spine := make([]float64, 256)
 	for i := range spine {
 		spine[i] = 1 + float64(i%7)
 	}
 	t, err := topology.Caterpillar(spine, 4)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return t
 }
@@ -75,7 +75,7 @@ func BenchmarkRoutingPerSend(b *testing.B) {
 func BenchmarkRoutingExchange(b *testing.B) {
 	tr := benchCaterpillar(b)
 	batch := benchTransferBatch(tr, 4096)
-	e := NewEngine(tr)
+	e := NewEngine(tr, WithLeanStats())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -96,7 +96,7 @@ func BenchmarkRoutingExchange(b *testing.B) {
 func BenchmarkRoutingExchangeSerial(b *testing.B) {
 	tr := benchCaterpillar(b)
 	batch := benchTransferBatch(tr, 4096)
-	e := NewEngine(tr, WithWorkers(1))
+	e := NewEngine(tr, WithWorkers(1), WithLeanStats())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

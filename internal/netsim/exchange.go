@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 
 	"topompc/internal/topology"
 )
@@ -22,6 +21,12 @@ import (
 // order-independent and deliveries are merged in compute-node order
 // exactly as Round.Parallel does.
 //
+// Exchange values are owned by the engine: Engine.Exchange hands out one
+// of two alternating buffers whose outboxes persist across rounds, so a
+// steady-state plan/execute cycle allocates nothing. The double buffer is
+// what permits pipelining — ExecuteAsync finishes accounting of round r in
+// the background while the protocol plans round r+1 into the other buffer.
+//
 // An Exchange and a Round cannot be open on the same engine at once; the
 // exchange occupies the engine from Exchange() until Execute().
 type Exchange struct {
@@ -32,12 +37,23 @@ type Exchange struct {
 
 // Exchange opens a planned round. Transfers read the inboxes of the
 // previous round; deliveries become visible when Execute is called.
+//
+// The returned exchange is an engine-owned buffer recycled across rounds;
+// it stays valid only until its Execute (or ExecuteAsync) completes the
+// round.
 func (e *Engine) Exchange() *Exchange {
 	if e.inRound {
 		panic("netsim: Exchange while a round is open")
 	}
 	e.inRound = true
-	return &Exchange{e: e, outs: make([]Outbox, e.t.NumCompute())}
+	x := &e.exbuf[e.exturn]
+	e.exturn ^= 1
+	if x.e == nil {
+		x.e = e
+		x.outs = make([]Outbox, e.t.NumCompute())
+	}
+	x.done = false
+	return x
 }
 
 // Out returns the outbox of compute node v for direct planning (e.g. a
@@ -71,22 +87,38 @@ func (x *Exchange) Plan(fn func(v topology.NodeID, out *Outbox)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	// Work-stealing over chunks of nodes via an atomic cursor; static
+	// worker functions with passed arguments keep the spawn allocation-free
+	// in steady state.
+	e := x.e
+	chunk := len(nodes)/(workers*8) + 1
+	e.planIdx.Store(0)
+	e.planWG.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(nodes[i], &x.outs[i])
-			}
-		}()
+		go planWorker(x, fn, chunk)
 	}
-	for i := range nodes {
-		next <- i
+	e.planWG.Wait()
+}
+
+// planWorker drains chunks of compute nodes from the shared plan cursor.
+func planWorker(x *Exchange, fn func(v topology.NodeID, out *Outbox), chunk int) {
+	defer x.e.planWG.Done()
+	nodes := x.e.t.ComputeNodes()
+	n := int64(len(nodes))
+	c64 := int64(chunk)
+	for {
+		hi := x.e.planIdx.Add(c64)
+		lo := hi - c64
+		if lo >= n {
+			return
+		}
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(nodes[i], &x.outs[i])
+		}
 	}
-	close(next)
-	wg.Wait()
 }
 
 // shardTally is one worker's accounting state: a path accumulator for edge
@@ -99,26 +131,22 @@ type shardTally struct {
 	stamp    []int32
 	cur      int32
 	terms    []topology.NodeID
-	err      error
 }
 
 // tallyOps accounts every op of the outboxes in [lo, hi) into the shard.
+// Receivers were validated before accounting started.
 func (x *Exchange) tallyOps(s *shardTally, lo, hi int) {
-	t := x.e.t
-	nodes := t.ComputeNodes()
+	nodes := x.e.t.ComputeNodes()
 	for i := lo; i < hi; i++ {
+		ob := &x.outs[i]
 		from := nodes[i]
-		for _, op := range x.outs[i].ops {
-			n := int64(len(op.keys))
-			if !op.multicast {
-				if x.e.cindex[op.to] < 0 {
-					s.err = fmt.Errorf("netsim: receiver %d is not a compute node", op.to)
-					return
-				}
-				if op.to != from {
-					s.acc.AddPath(from, op.to, n)
+		for j, to := range ob.to {
+			n := int64(len(ob.keys[j]))
+			if to != topology.NoNode {
+				if to != from {
+					s.acc.AddPath(from, to, n)
 					s.sent[from] += n
-					s.received[op.to] += n
+					s.received[to] += n
 				}
 				continue
 			}
@@ -126,18 +154,14 @@ func (x *Exchange) tallyOps(s *shardTally, lo, hi int) {
 			// count one delivery per distinct destination.
 			s.cur++
 			if s.cur == 0 {
-				for j := range s.stamp {
-					s.stamp[j] = -1
+				for k := range s.stamp {
+					s.stamp[k] = -1
 				}
 				s.cur = 1
 			}
 			s.terms = append(s.terms[:0], from)
 			external := false
-			for _, d := range op.dsts {
-				if x.e.cindex[d] < 0 {
-					s.err = fmt.Errorf("netsim: receiver %d is not a compute node", d)
-					return
-				}
+			for _, d := range ob.pool[ob.dlo[j]:ob.dhi[j]] {
 				if s.stamp[d] == s.cur {
 					continue
 				}
@@ -158,11 +182,11 @@ func (x *Exchange) tallyOps(s *shardTally, lo, hi int) {
 	}
 }
 
-// shard returns the engine's cached tally state for worker w, creating it
-// on first use. The accumulator and stamp set self-reset between rounds;
-// sent/received are zeroed after each merge.
-func (e *Engine) shard(w int) *shardTally {
-	for len(e.tallyCache) <= w {
+// shardSet returns the engine's cached tally states for the given worker
+// count, creating them on first use. Accumulators and stamp sets
+// self-reset between rounds; sent/received are zeroed after each merge.
+func (e *Engine) shardSet(workers int) []*shardTally {
+	for len(e.tallyCache) < workers {
 		e.tallyCache = append(e.tallyCache, &shardTally{
 			acc:      topology.NewPathAccumulator(e.t),
 			sent:     make([]int64, e.t.NumNodes()),
@@ -170,7 +194,7 @@ func (e *Engine) shard(w int) *shardTally {
 			stamp:    make([]int32, e.t.NumNodes()),
 		})
 	}
-	return e.tallyCache[w]
+	return e.tallyCache[:workers]
 }
 
 // Execute routes all declared transfers: per-edge traffic is aggregated in
@@ -178,27 +202,110 @@ func (e *Engine) shard(w int) *shardTally {
 // inboxes in compute-node order, and the round is committed. The exchange
 // cannot be reused afterwards.
 func (x *Exchange) Execute() RoundStats {
+	slot := x.execute()
+	x.e.pending.Wait()
+	return x.e.rounds[slot]
+}
+
+// ExecuteAsync is Execute with the cost accounting deferred to a
+// background worker: deliveries are visible (and the next round may be
+// opened and planned) as soon as it returns, while edge traffic, node
+// counters, and the round's cost statistics are finalized concurrently.
+// Report, NumRounds, and the next Execute synchronize on the pending
+// accounting, so observable statistics are identical to Execute. With a
+// single worker the accounting runs inline and ExecuteAsync is equivalent
+// to Execute.
+func (x *Exchange) ExecuteAsync() {
+	x.execute()
+}
+
+// execute validates and delivers the plan synchronously, reserves the
+// round's stats slot, and hands the outboxes to accounting. It returns the
+// reserved slot index.
+func (x *Exchange) execute() int {
 	if x.done {
 		panic("netsim: Execute called twice")
 	}
 	x.done = true
 	e := x.e
-	t := e.t
-	numNodes := t.NumNodes()
+	nodes := e.t.ComputeNodes()
 
-	// Sharded accounting: each worker tallies a contiguous range of sender
-	// outboxes into its own accumulator and counters. Shard scratch is
-	// cached on the engine; only the three arrays retained by RoundStats
-	// are allocated per round.
-	workers := e.workerCount(len(x.outs))
-	shards := make([]*shardTally, workers)
-	for w := range shards {
-		shards[w] = e.shard(w)
+	// Validate receivers before mutating any engine state so misuse panics
+	// on the caller's goroutine with the engine untouched.
+	for i := range x.outs {
+		ob := &x.outs[i]
+		for j, to := range ob.to {
+			if to == topology.NoNode {
+				for _, d := range ob.pool[ob.dlo[j]:ob.dhi[j]] {
+					if e.cindex[d] < 0 {
+						panic(fmt.Sprintf("netsim: receiver %d is not a compute node", d))
+					}
+				}
+			} else if e.cindex[to] < 0 {
+				panic(fmt.Sprintf("netsim: receiver %d is not a compute node", to))
+			}
+		}
 	}
+
+	// Deliveries, merged in compute-node order (then op order) so inbox
+	// ordering is deterministic and identical to the per-message Round API.
+	messages := 0
+	var elements int64
+	for i, v := range nodes {
+		ob := &x.outs[i]
+		for j, to := range ob.to {
+			if to != topology.NoNode {
+				messages++
+				elements += int64(len(ob.keys[j]))
+				e.inboxNext[to] = append(e.inboxNext[to], Message{From: v, To: to, Tag: ob.tag[j], Keys: ob.keys[j]})
+				continue
+			}
+			stamp := e.nextStamp()
+			for _, d := range ob.pool[ob.dlo[j]:ob.dhi[j]] {
+				if e.dupStamp[d] == stamp {
+					continue
+				}
+				e.dupStamp[d] = stamp
+				messages++
+				elements += int64(len(ob.keys[j]))
+				e.inboxNext[d] = append(e.inboxNext[d], Message{From: v, To: d, Tag: ob.tag[j], Keys: ob.keys[j]})
+			}
+		}
+	}
+
+	// Wait for the previous round's accounting before touching the rounds
+	// slice, then reserve this round's slot and publish the deliveries.
+	e.pending.Wait()
+	e.inRound = false
+	slot := len(e.rounds)
+	e.rounds = append(e.rounds, RoundStats{Index: slot, Messages: messages, Elements: elements})
+	e.swapInboxes()
+
+	if e.workerCount(len(x.outs)) > 1 {
+		e.pending.Add(1)
+		go accountRound(x, slot, true)
+	} else {
+		accountRound(x, slot, false)
+	}
+	return slot
+}
+
+// accountRound tallies the executed outboxes into per-edge and per-node
+// counters, fills the round's reserved stats slot, and resets the outboxes
+// for reuse. At most one accounting runs at a time (execute waits on
+// pending before spawning the next), so the engine-cached shard tallies
+// and lean-stats arena are used without synchronization.
+func accountRound(x *Exchange, slot int, async bool) {
+	e := x.e
+	if async {
+		defer e.pending.Done()
+	}
+
+	workers := e.workerCount(len(x.outs))
+	shards := e.shardSet(workers)
 	if workers <= 1 {
 		x.tallyOps(shards[0], 0, len(x.outs))
 	} else {
-		var wg sync.WaitGroup
 		per := (len(x.outs) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo, hi := w*per, (w+1)*per
@@ -206,68 +313,53 @@ func (x *Exchange) Execute() RoundStats {
 				hi = len(x.outs)
 			}
 			if lo >= hi {
-				continue
+				break
 			}
-			wg.Add(1)
-			go func(s *shardTally, lo, hi int) {
-				defer wg.Done()
-				x.tallyOps(s, lo, hi)
-			}(shards[w], lo, hi)
+			e.tallyWG.Add(1)
+			go tallyWorker(x, shards[w], lo, hi)
 		}
-		wg.Wait()
-	}
-	for _, s := range shards {
-		if s.err != nil {
-			msg := s.err.Error()
-			s.err = nil
-			panic(msg)
-		}
+		e.tallyWG.Wait()
 	}
 
-	// Merge shards into the retained per-round arrays, resolving edge
-	// traffic with one subtree-sum sweep, and drain the shard counters for
-	// the next round.
-	traffic := make([]int64, t.NumEdges())
-	sent := make([]int64, numNodes)
-	received := make([]int64, numNodes)
+	// Merge shards, resolving edge traffic with one subtree-sum sweep. In
+	// lean mode the merge targets the engine's reusable arena (zeroed again
+	// by finishStats after folding into the totals); otherwise fresh arrays
+	// are retained by the round's stats.
+	var traffic, sent, received []int64
+	if e.leanStats {
+		e.ensureArena()
+		traffic, sent, received = e.arTraffic, e.arSent, e.arReceived
+	} else {
+		traffic = make([]int64, e.t.NumEdges())
+		sent = make([]int64, e.t.NumNodes())
+		received = make([]int64, e.t.NumNodes())
+	}
 	for w, s := range shards {
 		if w > 0 {
 			shards[0].acc.MergeFrom(s.acc)
 		}
 		for v := range s.sent {
-			sent[v] += s.sent[v]
-			received[v] += s.received[v]
-			s.sent[v] = 0
-			s.received[v] = 0
+			if s.sent[v] != 0 {
+				sent[v] += s.sent[v]
+				s.sent[v] = 0
+			}
+			if s.received[v] != 0 {
+				received[v] += s.received[v]
+				s.received[v] = 0
+			}
 		}
 	}
 	shards[0].acc.FlushInto(traffic)
 
-	// Deliveries, merged in compute-node order (then op order) so inbox
-	// ordering is deterministic and identical to the per-message Round API.
-	messages := 0
-	var elements int64
-	nodes := t.ComputeNodes()
-	for i, v := range nodes {
-		for _, op := range x.outs[i].ops {
-			if !op.multicast {
-				messages++
-				elements += int64(len(op.keys))
-				e.inboxNext[op.to] = append(e.inboxNext[op.to], Message{From: v, To: op.to, Tag: op.tag, Keys: op.keys})
-				continue
-			}
-			stamp := e.nextStamp()
-			for _, d := range op.dsts {
-				if e.dupStamp[d] == stamp {
-					continue
-				}
-				e.dupStamp[d] = stamp
-				messages++
-				elements += int64(len(op.keys))
-				e.inboxNext[d] = append(e.inboxNext[d], Message{From: v, To: d, Tag: op.tag, Keys: op.keys})
-			}
-		}
-	}
+	e.finishStats(slot, traffic, sent, received)
 
-	return e.commitRound(traffic, sent, received, messages, elements)
+	for i := range x.outs {
+		x.outs[i].reset()
+	}
+}
+
+// tallyWorker accounts one sender range into its shard.
+func tallyWorker(x *Exchange, s *shardTally, lo, hi int) {
+	defer x.e.tallyWG.Done()
+	x.tallyOps(s, lo, hi)
 }

@@ -73,6 +73,9 @@ func statsEqual(tb testing.TB, got, want RoundStats) {
 	if got.BottleneckEdge != want.BottleneckEdge {
 		tb.Fatalf("BottleneckEdge: got %v, want %v", got.BottleneckEdge, want.BottleneckEdge)
 	}
+	if got.MaxReceived != want.MaxReceived {
+		tb.Fatalf("MaxReceived: got %d, want %d", got.MaxReceived, want.MaxReceived)
+	}
 	if got.Messages != want.Messages {
 		tb.Fatalf("Messages: got %d, want %d", got.Messages, want.Messages)
 	}
@@ -132,8 +135,8 @@ func TestExchangeMatchesRound(t *testing.T) {
 		statsEqual(t, RoundStats{
 			EdgeElems: gotStats.EdgeElems, NodeSent: gotStats.NodeSent,
 			NodeReceived: gotStats.NodeReceived, Cost: gotStats.Cost,
-			BottleneckEdge: gotStats.BottleneckEdge,
-			Messages:       gotStats.Messages, Elements: gotStats.Elements,
+			BottleneckEdge: gotStats.BottleneckEdge, MaxReceived: gotStats.MaxReceived,
+			Messages: gotStats.Messages, Elements: gotStats.Elements,
 		}, wantStats)
 
 		xe := x.e

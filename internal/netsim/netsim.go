@@ -26,11 +26,20 @@
 // Exchange API (Engine.Exchange / Plan / Execute) accounts a whole round
 // of declared transfers in O(V + M) via LCA tree-difference counting and
 // is what the protocol packages run on.
+//
+// The engine owns a reusable round arena: outbox buffers, shard tallies,
+// stamp sets, and (under WithLeanStats) the per-round accounting arrays
+// are allocated once and recycled across rounds, so a steady-state
+// exchange round performs no heap allocation. With more than one worker,
+// round accounting runs behind the protocol's planning of the next round
+// (Exchange.ExecuteAsync); Report and the next Execute synchronize on it.
 package netsim
 
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"topompc/internal/topology"
 )
@@ -77,6 +86,27 @@ type Engine struct {
 	dupCur   int32
 
 	tallyCache []*shardTally // per-worker exchange accounting scratch
+
+	// Round arena: the two exchange buffers alternate across rounds so the
+	// asynchronous accounting of round r can still read round r's outboxes
+	// while the protocol plans round r+1 into the other buffer. With lean
+	// stats the per-round accounting arrays are also reused round over
+	// round instead of being retained by RoundStats.
+	exbuf  [2]Exchange
+	exturn int
+
+	leanStats  bool
+	arTraffic  []int64 // lean mode: reused per-round edge traffic
+	arSent     []int64 // lean mode: reused per-round node sent
+	arReceived []int64 // lean mode: reused per-round node received
+	totEdge    []int64 // lean mode: cumulative per-edge totals
+	totSent    []int64 // lean mode: cumulative per-node sent totals
+	totRecv    []int64 // lean mode: cumulative per-node received totals
+
+	pending sync.WaitGroup // outstanding asynchronous round accounting
+	tallyWG sync.WaitGroup // in-flight shard tally workers of one round
+	planWG  sync.WaitGroup // in-flight Plan workers of one call
+	planIdx atomic.Int64   // work-stealing cursor shared by Plan workers
 }
 
 // Option configures an Engine.
@@ -86,6 +116,20 @@ type Option func(*Engine)
 // sharded exchange accounting. n <= 0 means GOMAXPROCS.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithLeanStats puts the engine in arena-stats mode: the per-round
+// EdgeElems/NodeSent/NodeReceived arrays are not retained per round —
+// RoundStats carries only the scalar statistics (Cost, BottleneckEdge,
+// MaxReceived, Messages, Elements) and the engine folds the arrays into
+// cumulative totals exposed through Report. This makes a steady-state
+// exchange round allocation-free and keeps memory O(V) instead of
+// O(V × rounds), which is what lets 10⁶-node topologies run protocols with
+// hundreds of rounds without exhausting memory. Aggregate report queries
+// (TotalCost, MPCCost, NodeTotals, MaxEdgeElems, EdgeTable) are unaffected;
+// only per-round array inspection is unavailable.
+func WithLeanStats() Option {
+	return func(e *Engine) { e.leanStats = true }
 }
 
 // NewEngine returns an engine for the given tree with empty inboxes.
@@ -137,6 +181,18 @@ func (e *Engine) nextStamp() int32 {
 	return e.dupCur
 }
 
+// ensureArena allocates the lean-mode accounting arrays on first use.
+func (e *Engine) ensureArena() {
+	if e.arTraffic == nil {
+		e.arTraffic = make([]int64, e.t.NumEdges())
+		e.arSent = make([]int64, e.t.NumNodes())
+		e.arReceived = make([]int64, e.t.NumNodes())
+		e.totEdge = make([]int64, e.t.NumEdges())
+		e.totSent = make([]int64, e.t.NumNodes())
+		e.totRecv = make([]int64, e.t.NumNodes())
+	}
+}
+
 // Tree reports the engine's tree.
 func (e *Engine) Tree() *topology.Tree { return e.t }
 
@@ -146,7 +202,10 @@ func (e *Engine) Tree() *topology.Tree { return e.t }
 func (e *Engine) Inbox(v topology.NodeID) []Message { return e.inboxCur[v] }
 
 // NumRounds reports the number of completed rounds.
-func (e *Engine) NumRounds() int { return len(e.rounds) }
+func (e *Engine) NumRounds() int {
+	e.pending.Wait()
+	return len(e.rounds)
+}
 
 // BeginRound starts a communication round. Sends read the inboxes of the
 // previous round; deliveries become visible when Finish is called.
@@ -154,6 +213,7 @@ func (e *Engine) BeginRound() *Round {
 	if e.inRound {
 		panic("netsim: BeginRound while a round is open")
 	}
+	e.pending.Wait()
 	e.inRound = true
 	return &Round{
 		e:        e,
@@ -251,10 +311,23 @@ func (r *Round) Finish() RoundStats {
 }
 
 // commitRound computes the round cost from the accounted traffic, records
-// the statistics, and makes all deliveries visible in the inboxes.
+// the statistics, and makes all deliveries visible in the inboxes. It is
+// the synchronous path of the per-message Round API; exchanges commit
+// through execute/accountRound instead.
 func (e *Engine) commitRound(traffic, sent, received []int64, messages int, elements int64) RoundStats {
 	e.inRound = false
 
+	slot := len(e.rounds)
+	e.rounds = append(e.rounds, RoundStats{Index: slot, Messages: messages, Elements: elements})
+	e.finishStats(slot, traffic, sent, received)
+	e.swapInboxes()
+	return e.rounds[slot]
+}
+
+// finishStats fills the cost fields of a reserved stats slot from the
+// accounted arrays. In lean mode the arrays are folded into the cumulative
+// totals and zeroed for reuse; otherwise they are retained by the slot.
+func (e *Engine) finishStats(slot int, traffic, sent, received []int64) {
 	cost := 0.0
 	var maxEdge topology.EdgeID = topology.NoEdge
 	for edge, n := range traffic {
@@ -267,27 +340,58 @@ func (e *Engine) commitRound(traffic, sent, received []int64, messages int, elem
 			maxEdge = topology.EdgeID(edge)
 		}
 	}
-	stats := RoundStats{
-		Index:          len(e.rounds),
-		EdgeElems:      traffic,
-		NodeSent:       sent,
-		NodeReceived:   received,
-		Cost:           cost,
-		BottleneckEdge: maxEdge,
-		Messages:       messages,
-		Elements:       elements,
+	var maxRecv int64
+	for _, n := range received {
+		if n > maxRecv {
+			maxRecv = n
+		}
 	}
-	e.rounds = append(e.rounds, stats)
+	rd := &e.rounds[slot]
+	rd.Cost = cost
+	rd.BottleneckEdge = maxEdge
+	rd.MaxReceived = maxRecv
+	if !e.leanStats {
+		rd.EdgeElems = traffic
+		rd.NodeSent = sent
+		rd.NodeReceived = received
+		return
+	}
+	e.ensureArena()
+	for i, n := range traffic {
+		if n != 0 {
+			e.totEdge[i] += n
+			traffic[i] = 0
+		}
+	}
+	for v := range sent {
+		if sent[v] != 0 {
+			e.totSent[v] += sent[v]
+			sent[v] = 0
+		}
+		if received[v] != 0 {
+			e.totRecv[v] += received[v]
+			received[v] = 0
+		}
+	}
+}
 
-	// Swap inboxes: deliveries become current, old current is recycled.
+// swapInboxes makes the round's deliveries current and recycles the old
+// inboxes for the next round.
+func (e *Engine) swapInboxes() {
 	for v := range e.inboxCur {
 		e.inboxCur[v] = e.inboxCur[v][:0]
 	}
 	e.inboxCur, e.inboxNext = e.inboxNext, e.inboxCur
-	return stats
 }
 
 // Report snapshots the cost statistics of all completed rounds.
 func (e *Engine) Report() *Report {
-	return &Report{Tree: e.t, Rounds: append([]RoundStats(nil), e.rounds...)}
+	e.pending.Wait()
+	r := &Report{Tree: e.t, Rounds: append([]RoundStats(nil), e.rounds...)}
+	if e.leanStats && e.totEdge != nil {
+		r.EdgeTotals = append([]int64(nil), e.totEdge...)
+		r.SentTotals = append([]int64(nil), e.totSent...)
+		r.RecvTotals = append([]int64(nil), e.totRecv...)
+	}
+	return r
 }

@@ -8,27 +8,62 @@ import (
 
 // Outbox collects the sends issued by one compute node during a parallel
 // step. It is not safe for concurrent use; each node gets its own.
+//
+// The layout is struct-of-arrays: one entry per queued op across five
+// parallel slices, with multicast destination lists packed into a shared
+// pool. Exchange outboxes are owned by the engine and recycled across
+// rounds by truncation, so steady-state planning appends into buffers that
+// are already grown to the protocol's working set and performs no heap
+// allocation.
 type Outbox struct {
-	ops []outOp
+	to   []topology.NodeID // per op; NoNode marks a multicast
+	tag  []Tag
+	keys [][]uint64
+	dlo  []int32 // multicast destination range [dlo, dhi) in pool
+	dhi  []int32
+	pool []topology.NodeID // packed multicast destinations (copied)
 }
 
-type outOp struct {
-	multicast bool
-	to        topology.NodeID
-	dsts      []topology.NodeID
-	tag       Tag
-	keys      []uint64
-}
-
-// Send queues a unicast (see Round.Send).
+// Send queues a unicast (see Round.Send). keys is retained until the
+// round's deliveries have been consumed; callers must not mutate it before
+// the next round completes.
 func (o *Outbox) Send(to topology.NodeID, tag Tag, keys []uint64) {
-	o.ops = append(o.ops, outOp{to: to, tag: tag, keys: keys})
+	o.to = append(o.to, to)
+	o.tag = append(o.tag, tag)
+	o.keys = append(o.keys, keys)
+	p := int32(len(o.pool))
+	o.dlo = append(o.dlo, p)
+	o.dhi = append(o.dhi, p)
 }
 
-// Multicast queues a multicast (see Round.Multicast). dsts is retained;
-// callers must not reuse the slice.
+// Multicast queues a multicast (see Round.Multicast). dsts is copied into
+// the outbox's destination pool, so callers may reuse the slice
+// immediately; keys follows the Send retention rule.
 func (o *Outbox) Multicast(dsts []topology.NodeID, tag Tag, keys []uint64) {
-	o.ops = append(o.ops, outOp{multicast: true, dsts: dsts, tag: tag, keys: keys})
+	o.to = append(o.to, topology.NoNode)
+	o.tag = append(o.tag, tag)
+	o.keys = append(o.keys, keys)
+	lo := int32(len(o.pool))
+	o.pool = append(o.pool, dsts...)
+	o.dlo = append(o.dlo, lo)
+	o.dhi = append(o.dhi, int32(len(o.pool)))
+}
+
+// numOps reports the number of queued ops.
+func (o *Outbox) numOps() int { return len(o.to) }
+
+// reset truncates the outbox for reuse, dropping payload references so the
+// arena does not pin caller slices beyond the round that delivered them.
+func (o *Outbox) reset() {
+	for j := range o.keys {
+		o.keys[j] = nil
+	}
+	o.to = o.to[:0]
+	o.tag = o.tag[:0]
+	o.keys = o.keys[:0]
+	o.dlo = o.dlo[:0]
+	o.dhi = o.dhi[:0]
+	o.pool = o.pool[:0]
 }
 
 // Parallel runs fn concurrently for every compute node of the tree and then
@@ -70,11 +105,12 @@ func (r *Round) Parallel(fn func(v topology.NodeID, out *Outbox)) {
 	}
 
 	for i, v := range nodes {
-		for _, op := range outs[i].ops {
-			if op.multicast {
-				r.Multicast(v, op.dsts, op.tag, op.keys)
+		ob := &outs[i]
+		for j, to := range ob.to {
+			if to == topology.NoNode {
+				r.Multicast(v, ob.pool[ob.dlo[j]:ob.dhi[j]], ob.tag[j], ob.keys[j])
 			} else {
-				r.Send(v, op.to, op.tag, op.keys)
+				r.Send(v, to, ob.tag[j], ob.keys[j])
 			}
 		}
 	}

@@ -9,13 +9,19 @@ import (
 )
 
 // RoundStats records the cost accounting of one completed round.
+//
+// Under WithLeanStats the three per-round arrays are nil — the engine folds
+// them into cumulative totals exposed on Report instead — and the scalar
+// fields (Cost, BottleneckEdge, MaxReceived, Messages, Elements) carry all
+// per-round information.
 type RoundStats struct {
 	Index          int
-	EdgeElems      []int64 // elements crossing each edge, by EdgeID
-	NodeSent       []int64 // elements emitted by each node, by NodeID
-	NodeReceived   []int64 // elements delivered to each node (self-sends excluded)
+	EdgeElems      []int64 // elements crossing each edge, by EdgeID (nil in lean mode)
+	NodeSent       []int64 // elements emitted by each node, by NodeID (nil in lean mode)
+	NodeReceived   []int64 // elements delivered to each node, self-sends excluded (nil in lean mode)
 	Cost           float64 // max_e EdgeElems[e] / w_e
 	BottleneckEdge topology.EdgeID
+	MaxReceived    int64 // max over nodes of elements received this round
 	Messages       int
 	Elements       int64 // total elements across all messages
 }
@@ -24,6 +30,14 @@ type RoundStats struct {
 type Report struct {
 	Tree   *topology.Tree
 	Rounds []RoundStats
+
+	// Cumulative per-edge / per-node totals across all rounds, populated by
+	// engines running under WithLeanStats (where the per-round arrays are
+	// not retained). Nil otherwise; the aggregate queries below fall back
+	// to summing the per-round arrays.
+	EdgeTotals []int64
+	SentTotals []int64
+	RecvTotals []int64
 }
 
 // NumRounds reports how many rounds the protocol used.
@@ -61,7 +75,7 @@ func (r *Report) TotalElements() int64 {
 func (r *Report) MPCCost() float64 {
 	var total int64
 	for _, rd := range r.Rounds {
-		var worst int64
+		worst := rd.MaxReceived
 		for _, n := range rd.NodeReceived {
 			if n > worst {
 				worst = n
@@ -75,7 +89,10 @@ func (r *Report) MPCCost() float64 {
 // NodeTotals reports per-node (sent, received) element totals across all
 // rounds, indexed by NodeID.
 func (r *Report) NodeTotals() (sent, received []int64) {
-	if len(r.Rounds) == 0 {
+	if r.SentTotals != nil {
+		return append([]int64(nil), r.SentTotals...), append([]int64(nil), r.RecvTotals...)
+	}
+	if len(r.Rounds) == 0 || r.Rounds[0].NodeSent == nil {
 		return nil, nil
 	}
 	sent = make([]int64, len(r.Rounds[0].NodeSent))
@@ -93,7 +110,10 @@ func (r *Report) NodeTotals() (sent, received []int64) {
 
 // MaxEdgeElems reports, per edge, the total elements across all rounds.
 func (r *Report) MaxEdgeElems() []int64 {
-	if len(r.Rounds) == 0 {
+	if r.EdgeTotals != nil {
+		return append([]int64(nil), r.EdgeTotals...)
+	}
+	if len(r.Rounds) == 0 || r.Rounds[0].EdgeElems == nil {
 		return nil
 	}
 	total := make([]int64, len(r.Rounds[0].EdgeElems))
