@@ -60,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		task    = fs.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
 		all     = fs.Bool("all", false, "time every registry task on -topo and write combined BENCH_all.json")
-		topo    = fs.String("topo", "twotier", "topology for -task/-all: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, or @file.json")
+		topo    = fs.String("topo", "twotier", "topology for -task/-all: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
 		n       = fs.Int("n", 100000, "input size for -task/-all")
 		place   = fs.String("place", "uniform", "placement for -task/-all: uniform, zipf, oneheavy, single")
 		reps    = fs.Int("reps", 3, "timed repetitions for -task/-all")

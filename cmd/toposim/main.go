@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("toposim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		topo      = fs.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, or @file.json")
+		topo      = fs.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
 		task      = fs.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
 		n         = fs.Int("n", 10000, "total input size (pair tasks split it between R and S)")
 		sizeR     = fs.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")

@@ -18,7 +18,7 @@ import (
 // catches future races or order-dependent accounting that only differ
 // across worker counts.
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
-	for _, topo := range []string{"twotier-skew", "caterpillar", "caterpillar-grade"} {
+	for _, topo := range []string{"twotier-skew", "caterpillar", "caterpillar-grade", "ring-of-racks"} {
 		topo := topo
 		t.Run(topo, func(t *testing.T) {
 			for _, spec := range topompc.Tasks() {

@@ -42,6 +42,18 @@ var fixtureTopos = []struct {
 	{"caterpillar-grade", func() (*topompc.Cluster, error) {
 		return topompc.CaterpillarCluster([]float64{8, 3, 0.5, 3, 8}, 8)
 	}},
+	// General (non-tree) networks, compressed to Gomory–Hu cut trees by
+	// the constructors: their entries pin the FromGraph front-end — cut
+	// weights, node order, and everything protocols derive from them.
+	{"mesh", func() (*topompc.Cluster, error) {
+		return topompc.MeshCluster(3, 4, 2.5)
+	}},
+	{"ring-of-racks", func() (*topompc.Cluster, error) {
+		return topompc.RingOfRacksCluster(4, 2, 3, 8)
+	}},
+	{"clos", func() (*topompc.Cluster, error) {
+		return topompc.ClosCluster(2, 3, 2, 4, 10)
+	}},
 }
 
 // fixturePlacements names the initial data distributions of the harness.

@@ -4,6 +4,7 @@ package cliutil
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -14,6 +15,21 @@ import (
 	"topompc/internal/topology"
 )
 
+// Named spec-validation errors. Every error ValidateSpec or
+// ValidateGraphSpec returns wraps exactly one of these, so callers can
+// branch with errors.Is — ParseTopo itself uses ErrSpecNotTree and
+// ErrSpecDupEdge to fall back from tree to graph interpretation of a
+// @file spec.
+var (
+	ErrSpecNoNodes     = errors.New("spec has no nodes")
+	ErrSpecNoCompute   = errors.New("spec has no compute nodes")
+	ErrSpecNotTree     = errors.New("spec edge count cannot form a tree")
+	ErrSpecUnknownNode = errors.New("spec edge references an unknown node")
+	ErrSpecSelfLoop    = errors.New("spec edge is a self-loop")
+	ErrSpecDupEdge     = errors.New("spec duplicates an edge")
+	ErrSpecBadBW       = errors.New("spec edge has invalid bandwidth")
+)
+
 // ParseTopo resolves a topology argument:
 //
 //	star:PxW           star with P compute nodes, bandwidth W each
@@ -22,12 +38,22 @@ import (
 //	caterpillar        5-spine caterpillar
 //	fattree-taper      3-level tapered fat tree (thin core; depth-2 hierarchy)
 //	caterpillar-grade  graded caterpillar (0.5× middle cut; depth-2 hierarchy)
-//	@file.json         a topology.Spec JSON file
+//	mesh               4x4 compute lattice (general network, via cut tree)
+//	ring-of-racks      4-rack ring, 2 nodes per rack (general network)
+//	clos               2-spine 3-leaf fabric (general network)
+//	fanout             12-node randomized overlay, fanout 2 (general network)
+//	@file.json         a topology.Spec JSON file (tree or general network)
+//
+// General networks — the named graph topologies and any @file spec whose
+// edge set is not a tree — are compressed to their Gomory–Hu
+// equivalent-cut tree with topology.FromGraph before protocols run.
 //
 // File specs are validated up front — empty node lists, missing compute
-// nodes, unknown endpoints, self-loops, duplicate links, bad bandwidths —
-// so malformed files fail with an error naming the offending entry instead
-// of a generic "not a tree" from deep inside topology construction.
+// nodes, unknown endpoints, self-loops, bad bandwidths — so malformed
+// files fail with an error naming the offending entry instead of a
+// generic "not a tree" from deep inside topology construction. A file is
+// read as a tree first; if only the tree-shape rules fail (edge count,
+// duplicate links), it is re-validated as a general network.
 func ParseTopo(spec string) (*topology.Tree, error) {
 	switch {
 	case strings.HasPrefix(spec, "@"):
@@ -41,7 +67,23 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if err := ValidateSpec(s); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			if !errors.Is(err, ErrSpecNotTree) && !errors.Is(err, ErrSpecDupEdge) {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			// Not tree-shaped but otherwise plausible: interpret the spec
+			// as a general network and compress it to its cut tree.
+			if gerr := ValidateGraphSpec(s); gerr != nil {
+				return nil, fmt.Errorf("%s: %w", path, gerr)
+			}
+			g, gerr := topology.GraphFromSpec(s)
+			if gerr != nil {
+				return nil, fmt.Errorf("%s: %w", path, gerr)
+			}
+			t, gerr := topology.FromGraph(g)
+			if gerr != nil {
+				return nil, fmt.Errorf("%s: %w", path, gerr)
+			}
+			return t, nil
 		}
 		t, err := topology.FromSpec(s)
 		if err != nil {
@@ -76,6 +118,16 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 		// Graded caterpillar: the spine weakens toward a 0.5× middle cut,
 		// depth-2 weak-cut hierarchy (halves then pairs).
 		return topology.Caterpillar([]float64{8, 3, 0.5, 3, 8}, 8)
+	case spec == "mesh":
+		return graphTopo(topology.Mesh(4, 4, 2))
+	case spec == "ring-of-racks":
+		return graphTopo(topology.RingOfRacks(4, 2, 3, 8))
+	case spec == "clos":
+		return graphTopo(topology.Clos(2, 3, 2, 4, 10))
+	case spec == "fanout":
+		// Seeded so the overlay — and everything downstream of it — is
+		// reproducible run to run.
+		return graphTopo(topology.RandomizedFanout(rand.New(rand.NewSource(42)), 12, 2, 0.5, 4))
 	default:
 		return nil, fmt.Errorf("unknown topology %q", spec)
 	}
@@ -86,10 +138,22 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 // contain: an empty node list, no compute node, edges naming unknown
 // nodes, self-loops, duplicate links between the same pair, an edge count
 // that cannot form a tree, and non-positive bandwidths (-1, the JSON
-// stand-in for +Inf, is allowed).
-func ValidateSpec(s topology.Spec) error {
+// stand-in for +Inf, is allowed). Every error wraps one of the named
+// ErrSpec* sentinels.
+func ValidateSpec(s topology.Spec) error { return validateSpec(s, false) }
+
+// ValidateGraphSpec checks a spec destined for a general network
+// (topology.GraphFromSpec): parallel edges and cycles are legitimate
+// multipath structure, so the tree-shape rules — edge count and
+// duplicate links — do not apply. Self-loops, unknown endpoints, and bad
+// bandwidths are still rejected; -1 (+Inf) is invalid here because cut
+// computations need finite capacities. Every error wraps one of the
+// named ErrSpec* sentinels.
+func ValidateGraphSpec(s topology.Spec) error { return validateSpec(s, true) }
+
+func validateSpec(s topology.Spec, graph bool) error {
 	if len(s.Nodes) == 0 {
-		return fmt.Errorf("cliutil: spec has no nodes")
+		return fmt.Errorf("cliutil: %w", ErrSpecNoNodes)
 	}
 	hasCompute := false
 	for _, n := range s.Nodes {
@@ -99,11 +163,11 @@ func ValidateSpec(s topology.Spec) error {
 		}
 	}
 	if !hasCompute {
-		return fmt.Errorf("cliutil: spec has no compute nodes (%d nodes are all routers)", len(s.Nodes))
+		return fmt.Errorf("cliutil: %w (%d nodes are all routers)", ErrSpecNoCompute, len(s.Nodes))
 	}
-	if len(s.Edges) != len(s.Nodes)-1 {
-		return fmt.Errorf("cliutil: spec has %d edges for %d nodes; a tree needs exactly %d",
-			len(s.Edges), len(s.Nodes), len(s.Nodes)-1)
+	if !graph && len(s.Edges) != len(s.Nodes)-1 {
+		return fmt.Errorf("cliutil: %w: %d edges for %d nodes; a tree needs exactly %d",
+			ErrSpecNotTree, len(s.Edges), len(s.Nodes), len(s.Nodes)-1)
 	}
 	name := func(i int) string {
 		if n := s.Nodes[i].Name; n != "" {
@@ -114,27 +178,48 @@ func ValidateSpec(s topology.Spec) error {
 	seen := make(map[[2]int]int, len(s.Edges))
 	for i, e := range s.Edges {
 		if e.A < 0 || e.A >= len(s.Nodes) || e.B < 0 || e.B >= len(s.Nodes) {
-			return fmt.Errorf("cliutil: edge %d (%d-%d) references an unknown node (spec has %d nodes)",
-				i, e.A, e.B, len(s.Nodes))
+			return fmt.Errorf("cliutil: edge %d (%d-%d) %w (spec has %d nodes)",
+				i, e.A, e.B, ErrSpecUnknownNode, len(s.Nodes))
 		}
 		if e.A == e.B {
-			return fmt.Errorf("cliutil: edge %d is a self-loop on node %s", i, name(e.A))
+			return fmt.Errorf("cliutil: edge %d %w on node %s", i, ErrSpecSelfLoop, name(e.A))
 		}
-		key := [2]int{e.A, e.B}
-		if e.B < e.A {
-			key = [2]int{e.B, e.A}
+		if !graph {
+			key := [2]int{e.A, e.B}
+			if e.B < e.A {
+				key = [2]int{e.B, e.A}
+			}
+			if prev, dup := seen[key]; dup {
+				return fmt.Errorf("cliutil: edge %d %w: duplicates edge %d between nodes %s and %s",
+					i, ErrSpecDupEdge, prev, name(e.A), name(e.B))
+			}
+			seen[key] = i
 		}
-		if prev, dup := seen[key]; dup {
-			return fmt.Errorf("cliutil: edge %d duplicates edge %d between nodes %s and %s",
-				i, prev, name(e.A), name(e.B))
-		}
-		seen[key] = i
-		if !(e.BW > 0) && e.BW != -1 {
-			return fmt.Errorf("cliutil: edge %d (%s-%s) has invalid bandwidth %v (want > 0, or -1 for +Inf)",
-				i, name(e.A), name(e.B), e.BW)
+		switch {
+		case e.BW > 0:
+		case !graph && e.BW == -1:
+		case graph && e.BW == -1:
+			return fmt.Errorf("cliutil: edge %d (%s-%s) %w: -1 (+Inf) needs a tree spec; cuts require finite capacities",
+				i, name(e.A), name(e.B), ErrSpecBadBW)
+		default:
+			hint := ", or -1 for +Inf"
+			if graph {
+				hint = ""
+			}
+			return fmt.Errorf("cliutil: edge %d (%s-%s) %w: %v (want > 0%s)",
+				i, name(e.A), name(e.B), ErrSpecBadBW, e.BW, hint)
 		}
 	}
 	return nil
+}
+
+// graphTopo compresses a generated general network to its cut tree,
+// propagating whichever step failed.
+func graphTopo(g *topology.Graph, err error) (*topology.Tree, error) {
+	if err != nil {
+		return nil, err
+	}
+	return topology.FromGraph(g)
 }
 
 // PlaceFunc splits keys over p nodes.

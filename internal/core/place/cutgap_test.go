@@ -1,0 +1,120 @@
+package place
+
+import (
+	"testing"
+
+	"topompc/internal/topology"
+)
+
+// TestHierarchyCutGapThresholds: with CutGapLevels, every threshold is
+// an actual edge bandwidth of the tree, thresholds strictly increase,
+// and the levels strictly refine — the ladder follows the tree's real
+// bandwidth distribution instead of factor-2 bands.
+func TestHierarchyCutGapThresholds(t *testing.T) {
+	for name, tree := range deepTrees(t) {
+		h := NewHierarchyOpt(tree, Capacities(tree), HierarchyOptions{CutGapLevels: true})
+		if h == nil {
+			t.Fatalf("%s: nil cut-gap hierarchy on a graded tree", name)
+		}
+		isBW := make(map[float64]bool)
+		for e := 0; e < tree.NumEdges(); e++ {
+			isBW[tree.Bandwidth(topology.EdgeID(e))] = true
+		}
+		for k, th := range h.Thresholds {
+			if !isBW[th] {
+				t.Errorf("%s level %d: threshold %v is not an edge bandwidth", name, k, th)
+			}
+			if k > 0 {
+				if th <= h.Thresholds[k-1] {
+					t.Errorf("%s level %d: threshold %v not above %v", name, k, th, h.Thresholds[k-1])
+				}
+				if len(h.Levels[k].Blocks) <= len(h.Levels[k-1].Blocks) {
+					t.Errorf("%s level %d: %d blocks does not refine %d",
+						name, k, len(h.Levels[k].Blocks), len(h.Levels[k-1].Blocks))
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchyCutGapOnCutTree: on a Gomory–Hu tree of a ring-of-racks
+// network the distinct cut weights are few and unevenly spaced; the
+// cut-gap hierarchy places exactly one level per weight class that
+// separates compute nodes, and every level's blocks are the components
+// above its threshold.
+func TestHierarchyCutGapOnCutTree(t *testing.T) {
+	g, err := topology.RingOfRacks(4, 2, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := topology.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHierarchyOpt(tree, Capacities(tree), HierarchyOptions{CutGapLevels: true})
+	if h == nil {
+		t.Fatal("nil cut-gap hierarchy on a cut tree with distinct cut weights")
+	}
+	for k, th := range h.Thresholds {
+		want := thresholdBlocks(tree, Capacities(tree), th)
+		got := h.Levels[k]
+		if len(got.Blocks) != len(want.Blocks) {
+			t.Fatalf("level %d: %d blocks, thresholdBlocks gives %d", k, len(got.Blocks), len(want.Blocks))
+		}
+		for i := range want.BlockOf {
+			if got.BlockOf[i] != want.BlockOf[i] {
+				t.Fatalf("level %d: BlockOf[%d] = %d, want %d", k, i, got.BlockOf[i], want.BlockOf[i])
+			}
+		}
+	}
+}
+
+// TestHierarchyCutGapDeeperOrEqual: cut-gap levels can only be finer
+// than the factor-2 ladder at the bottom — the deepest cut-gap partition
+// (threshold maxW) refines or equals the deepest banded partition
+// (threshold maxW/2).
+func TestHierarchyCutGapDeeperOrEqual(t *testing.T) {
+	for name, tree := range deepTrees(t) {
+		w := Capacities(tree)
+		banded := NewHierarchy(tree, w)
+		gapped := NewHierarchyOpt(tree, w, HierarchyOptions{CutGapLevels: true})
+		if banded == nil || gapped == nil {
+			t.Fatalf("%s: nil hierarchy", name)
+		}
+		deepB := banded.Levels[len(banded.Levels)-1]
+		deepG := gapped.Levels[len(gapped.Levels)-1]
+		if len(deepG.Blocks) < len(deepB.Blocks) {
+			t.Errorf("%s: deepest cut-gap level has %d blocks, banded %d",
+				name, len(deepG.Blocks), len(deepB.Blocks))
+		}
+		// Refinement: two indices in one cut-gap block share a banded block.
+		for _, members := range deepG.Blocks {
+			for _, i := range members[1:] {
+				if deepB.BlockOf[i] != deepB.BlockOf[members[0]] {
+					t.Fatalf("%s: deepest cut-gap block spans two banded blocks", name)
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchyForOptMemoized: the option-aware accessor caches per
+// option set, and the default option shares HierarchyFor's entry.
+func TestHierarchyForOptMemoized(t *testing.T) {
+	for _, tree := range deepTrees(t) {
+		def := HierarchyForOpt(tree, HierarchyOptions{})
+		if def != HierarchyFor(tree) {
+			t.Error("default options do not share HierarchyFor's cache entry")
+		}
+		gap := HierarchyForOpt(tree, HierarchyOptions{CutGapLevels: true})
+		if gap == nil {
+			t.Fatal("nil cut-gap hierarchy")
+		}
+		if gap == def {
+			t.Error("cut-gap hierarchy aliases the banded one")
+		}
+		if HierarchyForOpt(tree, HierarchyOptions{CutGapLevels: true}) != gap {
+			t.Error("cut-gap hierarchy not memoized")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package place
 
 import (
 	"math"
+	"sort"
 
 	"topompc/internal/topology"
 )
@@ -42,12 +43,26 @@ type Hierarchy struct {
 	Parents [][]int
 }
 
-// NewHierarchy builds the weak-cut hierarchy of a tree. weights (indexed
-// in ComputeNodes order, typically Capacities) choose each block's
-// combiner, exactly as in CombinerBlocks. Returns nil when no level has a
-// weak cut worth protecting: a bandwidth-uniform tree (within a factor 2),
-// or one where every split isolates single nodes at every level.
-func NewHierarchy(t *topology.Tree, weights []float64) *Hierarchy {
+// HierarchyOptions selects how NewHierarchyOpt places level thresholds.
+// The zero value reproduces NewHierarchy exactly (factor-2 bands).
+type HierarchyOptions struct {
+	// CutGapLevels places one level per distinct edge bandwidth instead
+	// of per factor-2 band: the thresholds are exactly the distinct
+	// finite bandwidths in ascending order, so each level peels off one
+	// weight class of edges — the levels sit at the actual gaps in the
+	// bandwidth distribution rather than at imposed powers of two. On a
+	// Gomory–Hu cut tree (topology.FromGraph), whose edge weights are
+	// true min-cut capacities of the underlying network, this aligns the
+	// combining levels with the network's real cut structure. The
+	// deepest level keeps only the strongest links (threshold maxW, not
+	// maxW/2), so it can refine the CombinerBlocks partition.
+	CutGapLevels bool
+}
+
+// bandThresholds is the default factor-2 threshold ladder: each
+// threshold doubles the weakest bandwidth at or above the previous one,
+// capped at half the strongest link (the CombinerBlocks cut).
+func bandThresholds(t *topology.Tree) []float64 {
 	maxW := 0.0
 	for e := 0; e < t.NumEdges(); e++ {
 		if w := t.Bandwidth(topology.EdgeID(e)); !math.IsInf(w, 1) && w > maxW {
@@ -59,9 +74,6 @@ func NewHierarchy(t *topology.Tree, weights []float64) *Hierarchy {
 	}
 	final := maxW / 2
 
-	// Thresholds, weakest band first: each one doubles the weakest
-	// bandwidth at or above the previous threshold, capped at half the
-	// strongest link (the CombinerBlocks cut).
 	var thresholds []float64
 	prev := 0.0
 	for {
@@ -80,6 +92,46 @@ func NewHierarchy(t *topology.Tree, weights []float64) *Hierarchy {
 			break
 		}
 		prev = th
+	}
+	return thresholds
+}
+
+// cutGapThresholds is the ladder of distinct finite bandwidths,
+// ascending. Cutting at each distinct value in turn removes exactly one
+// weight class per level; the first value cuts nothing and is dropped by
+// the single-block skip in the level loop.
+func cutGapThresholds(t *topology.Tree) []float64 {
+	seen := make(map[float64]bool)
+	var vals []float64
+	for e := 0; e < t.NumEdges(); e++ {
+		if w := t.Bandwidth(topology.EdgeID(e)); !math.IsInf(w, 1) && !seen[w] {
+			seen[w] = true
+			vals = append(vals, w)
+		}
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// NewHierarchy builds the weak-cut hierarchy of a tree. weights (indexed
+// in ComputeNodes order, typically Capacities) choose each block's
+// combiner, exactly as in CombinerBlocks. Returns nil when no level has a
+// weak cut worth protecting: a bandwidth-uniform tree (within a factor 2),
+// or one where every split isolates single nodes at every level.
+func NewHierarchy(t *topology.Tree, weights []float64) *Hierarchy {
+	return NewHierarchyOpt(t, weights, HierarchyOptions{})
+}
+
+// NewHierarchyOpt is NewHierarchy under explicit HierarchyOptions.
+func NewHierarchyOpt(t *topology.Tree, weights []float64, opt HierarchyOptions) *Hierarchy {
+	var thresholds []float64
+	if opt.CutGapLevels {
+		thresholds = cutGapThresholds(t)
+	} else {
+		thresholds = bandThresholds(t)
+	}
+	if len(thresholds) == 0 {
+		return nil
 	}
 
 	h := &Hierarchy{}
@@ -303,8 +355,9 @@ func (h *Hierarchy) UpSweepOpt(weights []float64, opt CombineOptions) []UpStep {
 
 // Memo keys for the per-tree caches (see topology.Tree.Memo).
 type (
-	capacitiesMemoKey struct{}
-	hierarchyMemoKey  struct{}
+	capacitiesMemoKey      struct{}
+	hierarchyMemoKey       struct{}
+	hierarchyCutGapMemoKey struct{}
 )
 
 // HierarchyFor returns the tree's weak-cut hierarchy under capacity
@@ -313,5 +366,17 @@ type (
 func HierarchyFor(t *topology.Tree) *Hierarchy {
 	return t.Memo(hierarchyMemoKey{}, func() any {
 		return NewHierarchy(t, Capacities(t))
+	}).(*Hierarchy)
+}
+
+// HierarchyForOpt is HierarchyFor under explicit HierarchyOptions,
+// memoized per option set (the default options share HierarchyFor's
+// cache entry, so mixing callers never recomputes).
+func HierarchyForOpt(t *topology.Tree, opt HierarchyOptions) *Hierarchy {
+	if !opt.CutGapLevels {
+		return HierarchyFor(t)
+	}
+	return t.Memo(hierarchyCutGapMemoKey{}, func() any {
+		return NewHierarchyOpt(t, Capacities(t), opt)
 	}).(*Hierarchy)
 }

@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzGraph decodes raw fuzz bytes into a small weighted multigraph.
+// Byte 0 picks the node count, one byte per node picks compute/router,
+// and each following byte triple (u, v, w) adds an edge. Decoding never
+// fails — invalid draws (self-loops, zero weights) are skipped — so the
+// fuzzer explores graph shapes, not decoder error paths. The result may
+// still be invalid (disconnected, all routers); callers Build and branch
+// on the error.
+func fuzzGraph(data []byte) (*Graph, error) {
+	next := func() (byte, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		c := data[0]
+		data = data[1:]
+		return c, true
+	}
+	nb, _ := next()
+	n := 2 + int(nb)%15
+	b := NewGraphBuilder()
+	for i := 0; i < n; i++ {
+		c, _ := next()
+		if c%4 == 0 {
+			b.Router("")
+		} else {
+			b.Compute("")
+		}
+	}
+	for {
+		ub, ok1 := next()
+		vb, ok2 := next()
+		wb, ok3 := next()
+		if !ok1 || !ok2 || !ok3 {
+			break
+		}
+		u, v := NodeID(int(ub)%n), NodeID(int(vb)%n)
+		if u == v {
+			continue
+		}
+		b.Link(u, v, float64(1+int(wb))/8)
+	}
+	return b.Build()
+}
+
+// FuzzFromGraph drives FromGraph over arbitrary byte-derived
+// multigraphs and asserts the cut-tree invariants: the tree validates
+// (connected, n−1 edges, positive bandwidths), the node universe is
+// preserved, and on a sampled pair the tree path minimum matches the
+// independent Edmonds–Karp reference.
+func FuzzFromGraph(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 1, 8})
+	f.Add([]byte{3, 1, 1, 0, 1, 0, 1, 4, 0, 1, 4, 1, 2, 2, 2, 0, 2})
+	f.Add([]byte{9, 1, 1, 1, 1, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0, 5, 1, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := fuzzGraph(data)
+		if err != nil {
+			return // invalid draw; nothing to assert
+		}
+		tree, err := FromGraph(g)
+		if err != nil {
+			t.Fatalf("FromGraph failed on a valid graph: %v", err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("cut tree does not validate: %v", err)
+		}
+		checkNodesPreserved(t, g, tree)
+		if n := g.NumNodes(); n > 1 {
+			// One reference-checked pair per input keeps the smoke fast
+			// while still exercising the equivalence property.
+			u := NodeID(0)
+			v := NodeID(1 + int(len(data))%(n-1))
+			got := treePathMinBW(tree, u, v)
+			want := refMaxFlow(g, u, v)
+			if !flowsClose(got, want) {
+				t.Fatalf("pair (%d, %d): tree path min %v, reference max-flow %v", u, v, got, want)
+			}
+		}
+	})
+}
+
+// FuzzTopologyJSON feeds arbitrary bytes through both spec parsers and
+// asserts re-emit/reparse identity: any input either parser accepts must
+// marshal to a canonical form that reparses to the same bytes.
+func FuzzTopologyJSON(f *testing.F) {
+	sb := NewBuilder()
+	hub := sb.Router("w")
+	for i := 0; i < 3; i++ {
+		sb.Link(sb.Compute(""), hub, 2)
+	}
+	starJSON, _ := sb.MustBuild().MarshalJSON()
+	f.Add(starJSON)
+	ring, _ := RingOfRacks(3, 1, 2, 4)
+	ringJSON, _ := ring.MarshalJSON()
+	f.Add(ringJSON)
+	fan, _ := RandomizedFanout(rand.New(rand.NewSource(1)), 5, 1, 0.5, 2)
+	fanJSON, _ := fan.MarshalJSON()
+	f.Add(fanJSON)
+	f.Add([]byte(`{"nodes":[{"name":"a","compute":true},{"name":"b","compute":true}],"edges":[{"a":0,"b":1,"bw":-1}]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tr, err := ParseJSON(data); err == nil {
+			out, err := tr.MarshalJSON()
+			if err != nil {
+				t.Fatalf("accepted tree spec failed to marshal: %v", err)
+			}
+			tr2, err := ParseJSON(out)
+			if err != nil {
+				t.Fatalf("re-emitted tree spec rejected: %v", err)
+			}
+			out2, _ := tr2.MarshalJSON()
+			if !bytes.Equal(out, out2) {
+				t.Fatalf("tree spec not a round-trip fixed point:\n%s\nvs\n%s", out, out2)
+			}
+		}
+		if g, err := ParseGraphJSON(data); err == nil {
+			out, err := g.MarshalJSON()
+			if err != nil {
+				t.Fatalf("accepted graph spec failed to marshal: %v", err)
+			}
+			g2, err := ParseGraphJSON(out)
+			if err != nil {
+				t.Fatalf("re-emitted graph spec rejected: %v", err)
+			}
+			out2, _ := g2.MarshalJSON()
+			if !bytes.Equal(out, out2) {
+				t.Fatalf("graph spec not a round-trip fixed point:\n%s\nvs\n%s", out, out2)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGraphBuilderBasics(t *testing.T) {
+	b := NewGraphBuilder()
+	u := b.Compute("u")
+	v := b.Compute("")
+	w := b.Router("")
+	e1 := b.Link(u, v, 2)
+	e2 := b.Link(u, v, 3) // parallel edge
+	b.Link(v, w, 1)       // cycle closer
+	b.Link(w, u, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 || g.NumCompute() != 2 {
+		t.Fatalf("got %d nodes / %d edges / %d compute", g.NumNodes(), g.NumEdges(), g.NumCompute())
+	}
+	if g.Name(u) != "u" || g.Name(v) != "v1" || g.Name(w) != "w2" {
+		t.Errorf("auto-names wrong: %q %q %q", g.Name(u), g.Name(v), g.Name(w))
+	}
+	if g.IsCompute(w) || !g.IsCompute(u) {
+		t.Error("compute flags wrong")
+	}
+	if a, bb := g.Endpoints(e2); a != u || bb != v {
+		t.Errorf("Endpoints(e2) = (%d, %d)", a, bb)
+	}
+	if g.Bandwidth(e1) != 2 || g.Bandwidth(e2) != 3 {
+		t.Error("bandwidths wrong")
+	}
+	if g.Degree(u) != 3 || len(g.Neighbors(v)) != 3 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(u), len(g.Neighbors(v)))
+	}
+	if len(g.ComputeNodes()) != 2 {
+		t.Error("ComputeNodes wrong")
+	}
+}
+
+func TestGraphBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *GraphBuilder)
+		want  string
+	}{
+		{"unknown-node", func(b *GraphBuilder) {
+			b.Compute("a")
+			b.Link(0, 9, 1)
+		}, "unknown node"},
+		{"self-loop", func(b *GraphBuilder) {
+			b.Compute("a")
+			b.Link(0, 0, 1)
+		}, "self-loop"},
+		{"zero-bandwidth", func(b *GraphBuilder) {
+			a, c := b.Compute("a"), b.Compute("c")
+			b.Link(a, c, 0)
+		}, "invalid bandwidth"},
+		{"nan-bandwidth", func(b *GraphBuilder) {
+			a, c := b.Compute("a"), b.Compute("c")
+			b.Link(a, c, math.NaN())
+		}, "invalid bandwidth"},
+		{"inf-bandwidth", func(b *GraphBuilder) {
+			a, c := b.Compute("a"), b.Compute("c")
+			b.Link(a, c, math.Inf(1))
+		}, "invalid bandwidth"},
+		{"empty", func(b *GraphBuilder) {}, "empty graph"},
+		{"no-compute", func(b *GraphBuilder) {
+			b.Router("w")
+		}, "no compute nodes"},
+		{"disconnected", func(b *GraphBuilder) {
+			b.Compute("a")
+			b.Compute("b")
+		}, "not connected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewGraphBuilder()
+			tc.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			// A poisoned builder keeps reporting the first error.
+			if id := b.Link(0, 0, 1); tc.want != "empty graph" && tc.want != "no compute nodes" &&
+				tc.want != "not connected" && id != NoEdge {
+				t.Error("Link after error returned a real edge id")
+			}
+		})
+	}
+}
+
+func TestGraphMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on an invalid graph")
+		}
+	}()
+	NewGraphBuilder().MustBuild()
+}
+
+func TestGraphSpecRoundTrip(t *testing.T) {
+	g, err := RingOfRacks(3, 2, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraphJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := g2.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("round trip changed the spec:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestGraphFromSpecErrors(t *testing.T) {
+	if _, err := ParseGraphJSON([]byte("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	bad := Spec{
+		Nodes: []SpecNode{{Name: "a", Compute: true}},
+		Edges: []SpecEdge{{A: 0, B: 5, BW: 1}},
+	}
+	if _, err := GraphFromSpec(bad); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("unknown node: got %v", err)
+	}
+	// -1 (the tree stand-in for +Inf) is not a valid graph bandwidth.
+	inf := Spec{
+		Nodes: []SpecNode{{Name: "a", Compute: true}, {Name: "b", Compute: true}},
+		Edges: []SpecEdge{{A: 0, B: 1, BW: -1}},
+	}
+	if _, err := GraphFromSpec(inf); err == nil || !strings.Contains(err.Error(), "invalid bandwidth") {
+		t.Errorf("bw=-1: got %v", err)
+	}
+}
+
+func TestGraphGenerators(t *testing.T) {
+	mesh, err := Mesh(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows*cols nodes, all compute; lattice has r(c-1) + c(r-1) edges.
+	if mesh.NumNodes() != 12 || mesh.NumCompute() != 12 || mesh.NumEdges() != 3*3+4*2 {
+		t.Errorf("mesh: %d nodes / %d compute / %d edges", mesh.NumNodes(), mesh.NumCompute(), mesh.NumEdges())
+	}
+
+	ring, err := RingOfRacks(4, 3, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.NumNodes() != 4+12 || ring.NumCompute() != 12 || ring.NumEdges() != 4+12 {
+		t.Errorf("ring: %d nodes / %d compute / %d edges", ring.NumNodes(), ring.NumCompute(), ring.NumEdges())
+	}
+
+	clos, err := Clos(3, 4, 2, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clos.NumNodes() != 3+4+8 || clos.NumCompute() != 8 || clos.NumEdges() != 3*4+8 {
+		t.Errorf("clos: %d nodes / %d compute / %d edges", clos.NumNodes(), clos.NumCompute(), clos.NumEdges())
+	}
+
+	fan, err := RandomizedFanout(rand.New(rand.NewSource(3)), 12, 2, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fan.NumNodes() != 12 || fan.NumCompute() != 12 || fan.NumEdges() != 11+12*2 {
+		t.Errorf("fanout: %d nodes / %d compute / %d edges", fan.NumNodes(), fan.NumCompute(), fan.NumEdges())
+	}
+
+	for _, bad := range []func() (*Graph, error){
+		func() (*Graph, error) { return Mesh(0, 3, 1) },
+		func() (*Graph, error) { return RingOfRacks(2, 1, 1, 1) },
+		func() (*Graph, error) { return Clos(0, 2, 1, 1, 1) },
+		func() (*Graph, error) { return RandomizedFanout(rand.New(rand.NewSource(1)), 1, 1, 1, 2) },
+		func() (*Graph, error) { return RandomizedFanout(rand.New(rand.NewSource(1)), 4, 1, 0, 2) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Error("invalid generator parameters accepted")
+		}
+	}
+}

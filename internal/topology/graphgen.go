@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph-network generators: the non-tree shapes real deployments use.
+// Each returns a *Graph; run it through FromGraph to obtain the
+// equivalent-cut tree the protocols execute on.
+
+// Mesh builds the rows × cols lattice of compute nodes with
+// 4-neighborhood links of uniform bandwidth: the multipath overlay shape
+// where every interior cut is crossed by many parallel links.
+func Mesh(rows, cols int, bw float64) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 1 {
+		return nil, fmt.Errorf("topology: mesh needs rows, cols >= 1, got %dx%d", rows, cols)
+	}
+	b := NewGraphBuilder()
+	id := make([]NodeID, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id[r*cols+c] = b.Compute(fmt.Sprintf("m%d.%d", r+1, c+1))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.Link(id[r*cols+c], id[r*cols+c+1], bw)
+			}
+			if r+1 < rows {
+				b.Link(id[r*cols+c], id[(r+1)*cols+c], bw)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RingOfRacks builds a cycle of rack routers (ring links of bandwidth
+// ring) with perRack compute leaves per rack (leaf links of bandwidth
+// leaf): the classic ring overlay, where every rack pair is connected by
+// two disjoint arcs whose capacities add.
+func RingOfRacks(racks, perRack int, ring, leaf float64) (*Graph, error) {
+	if racks < 3 || perRack < 1 {
+		return nil, fmt.Errorf("topology: ring of racks needs racks >= 3, perRack >= 1, got %d/%d", racks, perRack)
+	}
+	b := NewGraphBuilder()
+	routers := make([]NodeID, racks)
+	for i := range routers {
+		routers[i] = b.Router(fmt.Sprintf("rack%d", i+1))
+	}
+	node := 0
+	for i, r := range routers {
+		b.Link(r, routers[(i+1)%racks], ring)
+		for j := 0; j < perRack; j++ {
+			node++
+			b.Link(b.Compute(fmt.Sprintf("v%d", node)), r, leaf)
+		}
+	}
+	return b.Build()
+}
+
+// Clos builds a two-layer leaf–spine fabric: every leaf router links to
+// every spine router (bandwidth spine) and carries perLeaf compute nodes
+// (bandwidth leaf). The full bipartite core is the canonical multipath
+// datacenter shape — a leaf's uplink capacity is spines × spine, which
+// no single tree edge can express without a cut tree.
+func Clos(spines, leaves, perLeaf int, spine, leaf float64) (*Graph, error) {
+	if spines < 1 || leaves < 2 || perLeaf < 1 {
+		return nil, fmt.Errorf("topology: clos needs spines >= 1, leaves >= 2, perLeaf >= 1, got %d/%d/%d",
+			spines, leaves, perLeaf)
+	}
+	b := NewGraphBuilder()
+	sp := make([]NodeID, spines)
+	for i := range sp {
+		sp[i] = b.Router(fmt.Sprintf("spine%d", i+1))
+	}
+	node := 0
+	for l := 0; l < leaves; l++ {
+		lr := b.Router(fmt.Sprintf("leaf%d", l+1))
+		for _, s := range sp {
+			b.Link(lr, s, spine)
+		}
+		for j := 0; j < perLeaf; j++ {
+			node++
+			b.Link(b.Compute(fmt.Sprintf("v%d", node)), lr, leaf)
+		}
+	}
+	return b.Build()
+}
+
+// RandomizedFanout builds a gossip-style randomized overlay on p compute
+// nodes: a random connected backbone (node i links to a uniform earlier
+// node) plus extra random fanout links per node, with bandwidths drawn
+// uniformly from [minBW, maxBW]. Parallel edges are kept — repeated
+// picks model redundant overlay connections whose capacities add. The
+// same rng state always produces the same graph.
+func RandomizedFanout(rng *rand.Rand, p, fanout int, minBW, maxBW float64) (*Graph, error) {
+	if p < 2 || fanout < 0 {
+		return nil, fmt.Errorf("topology: randomized fanout needs p >= 2, fanout >= 0, got %d/%d", p, fanout)
+	}
+	if !(minBW > 0) || maxBW < minBW {
+		return nil, fmt.Errorf("topology: randomized fanout needs 0 < minBW <= maxBW, got %v/%v", minBW, maxBW)
+	}
+	draw := func() float64 { return minBW + rng.Float64()*(maxBW-minBW) }
+	b := NewGraphBuilder()
+	nodes := make([]NodeID, p)
+	for i := range nodes {
+		nodes[i] = b.Compute(fmt.Sprintf("v%d", i+1))
+		if i > 0 {
+			b.Link(nodes[i], nodes[rng.Intn(i)], draw())
+		}
+	}
+	for i := range nodes {
+		for k := 0; k < fanout; k++ {
+			j := rng.Intn(p - 1)
+			if j >= i {
+				j++ // uniform over the other p-1 nodes, never a self-loop
+			}
+			b.Link(nodes[i], nodes[j], draw())
+		}
+	}
+	return b.Build()
+}

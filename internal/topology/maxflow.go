@@ -1,0 +1,180 @@
+package topology
+
+// flowNet is the residual network of a Graph for repeated s–t max-flow
+// computations (Dinic's algorithm). Each undirected edge of bandwidth w
+// becomes an arc pair (2e, 2e+1) with capacity w in both directions —
+// the standard undirected reduction, where pushing flow along one arc
+// frees capacity on its reverse. The arc layout is built once per graph
+// and reset between the n−1 Gusfield runs, so FromGraph allocates O(V+E)
+// total.
+type flowNet struct {
+	headOff []int32 // CSR offsets into arcs, per node
+	arcs    []int32 // arc ids in adjacency order
+	to      []int32 // arc head, per arc id
+	cap     []float64
+	orig    []float64
+	eps     float64 // saturation threshold, scaled to the capacity range
+
+	level []int32
+	iter  []int32
+	queue []int32
+}
+
+func newFlowNet(g *Graph) *flowNet {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	f := &flowNet{
+		headOff: make([]int32, n+1),
+		arcs:    make([]int32, 2*m),
+		to:      make([]int32, 2*m),
+		cap:     make([]float64, 2*m),
+		orig:    make([]float64, 2*m),
+		level:   make([]int32, n),
+		iter:    make([]int32, n),
+		queue:   make([]int32, 0, n),
+	}
+	maxCap := 0.0
+	for e := 0; e < m; e++ {
+		a, b := g.Endpoints(EdgeID(e))
+		w := g.Bandwidth(EdgeID(e))
+		f.to[2*e] = int32(b)
+		f.to[2*e+1] = int32(a)
+		f.orig[2*e] = w
+		f.orig[2*e+1] = w
+		if w > maxCap {
+			maxCap = w
+		}
+		f.headOff[a+1]++
+		f.headOff[b+1]++
+	}
+	// Residuals are sums and differences of at most 2m capacities; scale
+	// the saturation threshold so float cancellation noise never reopens
+	// a saturated arc.
+	f.eps = maxCap * float64(2*m+1) * 1e-12
+	for v := 0; v < n; v++ {
+		f.headOff[v+1] += f.headOff[v]
+	}
+	fill := append([]int32(nil), f.headOff[:n]...)
+	for e := 0; e < m; e++ {
+		a, b := g.Endpoints(EdgeID(e))
+		f.arcs[fill[a]] = int32(2 * e)
+		fill[a]++
+		f.arcs[fill[b]] = int32(2*e + 1)
+		fill[b]++
+	}
+	return f
+}
+
+// MaxFlow computes the s–t max flow of the graph — by max-flow/min-cut
+// duality, the capacity of a minimum cut separating s from t. Parallel
+// edges contribute additively. The graph must be one produced by
+// GraphBuilder.Build (validated); each call builds a fresh residual
+// network, so callers computing many flows on one graph should expect
+// O(V+E) setup per call.
+func (g *Graph) MaxFlow(s, t NodeID) float64 {
+	if s == t {
+		return 0
+	}
+	f := newFlowNet(g)
+	f.reset()
+	return f.maxflow(s, t)
+}
+
+// reset restores every residual capacity to the original bandwidths.
+func (f *flowNet) reset() { copy(f.cap, f.orig) }
+
+// maxflow computes the s–t max flow with Dinic's algorithm: BFS level
+// graph, then DFS blocking flows with per-node arc iterators.
+func (f *flowNet) maxflow(s, t NodeID) float64 {
+	var total float64
+	for f.bfs(s, t) {
+		for v := range f.iter {
+			f.iter[v] = f.headOff[v]
+		}
+		for {
+			pushed := f.dfs(int32(s), int32(t), f.inf())
+			if pushed <= 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *flowNet) inf() float64 {
+	var s float64
+	for _, c := range f.orig {
+		s += c
+	}
+	return s + 1
+}
+
+// bfs builds the level graph over arcs with usable residual capacity and
+// reports whether t is reachable.
+func (f *flowNet) bfs(s, t NodeID) bool {
+	for v := range f.level {
+		f.level[v] = -1
+	}
+	f.queue = f.queue[:0]
+	f.queue = append(f.queue, int32(s))
+	f.level[s] = 0
+	for i := 0; i < len(f.queue); i++ {
+		v := f.queue[i]
+		for _, a := range f.arcs[f.headOff[v]:f.headOff[v+1]] {
+			w := f.to[a]
+			if f.cap[a] > f.eps && f.level[w] == -1 {
+				f.level[w] = f.level[v] + 1
+				f.queue = append(f.queue, w)
+			}
+		}
+	}
+	return f.level[t] != -1
+}
+
+// dfs pushes one blocking-flow augmentation from v toward t.
+func (f *flowNet) dfs(v, t int32, limit float64) float64 {
+	if v == t {
+		return limit
+	}
+	for ; f.iter[v] < f.headOff[v+1]; f.iter[v]++ {
+		a := f.arcs[f.iter[v]]
+		w := f.to[a]
+		if f.cap[a] <= f.eps || f.level[w] != f.level[v]+1 {
+			continue
+		}
+		avail := limit
+		if f.cap[a] < avail {
+			avail = f.cap[a]
+		}
+		pushed := f.dfs(w, t, avail)
+		if pushed > 0 {
+			f.cap[a] -= pushed
+			f.cap[a^1] += pushed
+			return pushed
+		}
+	}
+	f.level[v] = -1 // dead end; prune for the rest of this phase
+	return 0
+}
+
+// minCutSide marks, in side, the nodes reachable from s in the residual
+// network after maxflow — the s-side of a minimum s–t cut. side must
+// have NumNodes entries; previous contents are overwritten.
+func (f *flowNet) minCutSide(s NodeID, side []bool) {
+	for v := range side {
+		side[v] = false
+	}
+	f.queue = f.queue[:0]
+	f.queue = append(f.queue, int32(s))
+	side[s] = true
+	for i := 0; i < len(f.queue); i++ {
+		v := f.queue[i]
+		for _, a := range f.arcs[f.headOff[v]:f.headOff[v+1]] {
+			if w := f.to[a]; f.cap[a] > f.eps && !side[w] {
+				side[w] = true
+				f.queue = append(f.queue, w)
+			}
+		}
+	}
+}

@@ -105,6 +105,53 @@ func CaterpillarCluster(spine []float64, leg float64) (*Cluster, error) {
 	return &Cluster{t: t}, nil
 }
 
+// MeshCluster builds a rows × cols compute lattice with uniform link
+// bandwidth — a general (non-tree) network, compressed to its Gomory–Hu
+// equivalent-cut tree before protocols run (see GraphCluster).
+func MeshCluster(rows, cols int, bw float64) (*Cluster, error) {
+	g, err := topology.Mesh(rows, cols, bw)
+	if err != nil {
+		return nil, err
+	}
+	return GraphCluster(g)
+}
+
+// RingOfRacksCluster builds a cycle of rack routers with compute leaves —
+// a general network whose two ring arcs add capacity between every rack
+// pair; compressed to its cut tree before protocols run.
+func RingOfRacksCluster(racks, perRack int, ring, leaf float64) (*Cluster, error) {
+	g, err := topology.RingOfRacks(racks, perRack, ring, leaf)
+	if err != nil {
+		return nil, err
+	}
+	return GraphCluster(g)
+}
+
+// ClosCluster builds a leaf–spine fabric (every leaf router linked to
+// every spine router) with compute nodes under the leaves; compressed to
+// its cut tree before protocols run.
+func ClosCluster(spines, leaves, perLeaf int, spine, leaf float64) (*Cluster, error) {
+	g, err := topology.Clos(spines, leaves, perLeaf, spine, leaf)
+	if err != nil {
+		return nil, err
+	}
+	return GraphCluster(g)
+}
+
+// GraphCluster wraps a general network: the graph is compressed to its
+// Gomory–Hu equivalent-cut tree (topology.FromGraph), on which every
+// tree-edge bandwidth is a true min-cut capacity of the graph, so the
+// modeled per-edge costs are bottleneck-faithful. What the compression
+// gives up is path multiplicity: traffic the real network would spread
+// over parallel paths is modeled as crossing the single bottleneck cut.
+func GraphCluster(g *topology.Graph) (*Cluster, error) {
+	t, err := topology.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{t: t}, nil
+}
+
 // NewCluster wraps an already-built topology tree. It exists for the
 // in-module command-line tools; external callers use the named
 // constructors or ParseCluster.
@@ -119,6 +166,18 @@ func ParseCluster(jsonSpec []byte) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{t: t}, nil
+}
+
+// ParseGraphCluster decodes a general-network cluster from the same JSON
+// spec format, except that cycles and parallel edges are allowed and
+// bw = -1 (+Inf) is not; the network is compressed to its cut tree as in
+// GraphCluster.
+func ParseGraphCluster(jsonSpec []byte) (*Cluster, error) {
+	g, err := topology.ParseGraphJSON(jsonSpec)
+	if err != nil {
+		return nil, err
+	}
+	return GraphCluster(g)
 }
 
 // NumNodes reports the number of compute nodes. Fragment slices passed to
