@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Regression thresholds for -compare, as percent slowdown over the
+// committed baseline. Wall-clock deltas are noisy across machines, so the
+// first tier only warns; only a gross regression fails the run.
+// Improvements never fail.
+const (
+	compareWarnPct = 10.0
+	compareFailPct = 25.0
+)
+
+// loadBaseline reads one committed BENCH json payload from the baseline
+// directory.
+func loadBaseline(dir, name string, out any) error {
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// deltaLine prints one baseline-vs-current row and classifies it.
+func deltaLine(stdout io.Writer, name string, baseNs, curNs int64) (warned, failed bool) {
+	if baseNs <= 0 || curNs <= 0 {
+		fmt.Fprintf(stdout, "  %-24s %14d -> %14d ns  (skipped: non-positive timing)\n", name, baseNs, curNs)
+		return false, false
+	}
+	pct := (float64(curNs)/float64(baseNs) - 1) * 100
+	mark := ""
+	switch {
+	case pct > compareFailPct:
+		mark = "  FAIL >25% slower"
+		failed = true
+	case pct > compareWarnPct:
+		mark = "  WARN >10% slower"
+		warned = true
+	}
+	fmt.Fprintf(stdout, "  %-24s %14d -> %14d ns  %+7.1f%%%s\n", name, baseNs, curNs, pct, mark)
+	return warned, failed
+}
+
+// compareVerdict prints the tally and returns an error when any record
+// crossed the failure threshold.
+func compareVerdict(stdout io.Writer, warns, fails, missing int) error {
+	switch {
+	case fails > 0:
+		fmt.Fprintf(stdout, "compare: FAIL — %d record(s) more than %.0f%% slower than baseline\n", fails, compareFailPct)
+	case warns > 0:
+		fmt.Fprintf(stdout, "compare: OK with %d warning(s) (>%.0f%% slower)\n", warns, compareWarnPct)
+	default:
+		fmt.Fprintln(stdout, "compare: OK — no record slower than baseline by more than 10%")
+	}
+	if missing > 0 {
+		fmt.Fprintf(stdout, "compare: %d record(s) had no baseline entry and were skipped\n", missing)
+	}
+	if fails > 0 {
+		return fmt.Errorf("%d record(s) regressed more than %.0f%% vs baseline", fails, compareFailPct)
+	}
+	return nil
+}
+
+// compareAll reruns the full task sweep with the baseline's recorded
+// fixture (topo/place/n/seed), so the model-cost side is apples to
+// apples, and diffs per-task best wall-clock times against the committed
+// BENCH_all.json.
+func compareAll(dir string, cfg benchConfig, stdout io.Writer) error {
+	var base benchAll
+	if err := loadBaseline(dir, "BENCH_all.json", &base); err != nil {
+		return err
+	}
+	cfg.topo, cfg.place, cfg.n, cfg.seed = base.Topo, base.Place, base.N, base.Seed
+	fmt.Fprintf(stdout, "compare: rerunning baseline fixture topo=%s place=%s n=%d seed=%d\n\n",
+		cfg.topo, cfg.place, cfg.n, cfg.seed)
+	cur, err := timeAll(cfg, stdout)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]benchRecord, len(base.Records))
+	for _, r := range base.Records {
+		baseBy[r.Task] = r
+	}
+	fmt.Fprintf(stdout, "\nbest_ns vs %s:\n", filepath.Join(dir, "BENCH_all.json"))
+	var warns, fails, missing int
+	for _, r := range cur.Records {
+		b, ok := baseBy[r.Task]
+		if !ok {
+			missing++
+			fmt.Fprintf(stdout, "  %-24s (no baseline entry, skipped)\n", r.Task)
+			continue
+		}
+		w, f := deltaLine(stdout, r.Task, b.BestNs, r.BestNs)
+		if w {
+			warns++
+		}
+		if f {
+			fails++
+		}
+	}
+	return compareVerdict(stdout, warns, fails, missing)
+}
+
+// compareScale diffs an already-run scale sweep against the committed
+// BENCH_scale.json, matching records by (name, size). Records missing
+// from the baseline — e.g. -scale-big probes against a baseline recorded
+// without them — are skipped.
+func compareScale(dir string, cur benchScale, stdout io.Writer) error {
+	var base benchScale
+	if err := loadBaseline(dir, "BENCH_scale.json", &base); err != nil {
+		return err
+	}
+	key := func(r scaleRecord) string { return fmt.Sprintf("%s@%d", r.Name, r.Size) }
+	baseBy := make(map[string]scaleRecord, len(base.Records))
+	for _, r := range base.Records {
+		baseBy[key(r)] = r
+	}
+	fmt.Fprintf(stdout, "\nns_per_op vs %s:\n", filepath.Join(dir, "BENCH_scale.json"))
+	var warns, fails, missing int
+	for _, r := range cur.Records {
+		b, ok := baseBy[key(r)]
+		if !ok {
+			missing++
+			fmt.Fprintf(stdout, "  %-24s (no baseline entry, skipped)\n", key(r))
+			continue
+		}
+		w, f := deltaLine(stdout, key(r), b.NsPerOp, r.NsPerOp)
+		if w {
+			warns++
+		}
+		if f {
+			fails++
+		}
+	}
+	return compareVerdict(stdout, warns, fails, missing)
+}

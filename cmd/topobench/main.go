@@ -26,13 +26,19 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	_ "expvar"         // /debug/vars on the -debug-addr endpoint
+	_ "net/http/pprof" // /debug/pprof on the -debug-addr endpoint
+
 	"topompc"
 	"topompc/internal/cliutil"
 	"topompc/internal/exper"
+	"topompc/internal/obs"
+	"topompc/internal/topology"
 )
 
 func main() {
@@ -44,6 +50,9 @@ type benchConfig struct {
 	topo, place            string
 	n, reps, workers, bits int
 	seed                   uint64
+	// tracer, when non-nil, records every timed run (and any cut-tree
+	// build) into one flight-recorder trace.
+	tracer *obs.Trace
 }
 
 // run executes the command with the given arguments and streams; it
@@ -53,23 +62,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("topobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		seed    = fs.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
-		quick   = fs.Bool("quick", false, "reduced sweeps")
-		format  = fs.String("format", "text", "output format: text or md")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		task    = fs.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
-		all     = fs.Bool("all", false, "time every registry task on -topo and write combined BENCH_all.json")
-		topo    = fs.String("topo", "twotier", "topology for -task/-all: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
-		n       = fs.Int("n", 100000, "input size for -task/-all")
-		place   = fs.String("place", "uniform", "placement for -task/-all: uniform, zipf, oneheavy, single")
-		reps    = fs.Int("reps", 3, "timed repetitions for -task/-all")
-		workers = fs.Int("workers", 0, "goroutine budget for -task/-all (0 = all CPUs)")
-		bits    = fs.Int("bits", 0, "bit-width accounting for -task/-all (0 = elements only)")
-		jsonOut = fs.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
-		scale   = fs.Bool("scale", false, "run the data-plane scale sweep (exchange + cc at 10⁴/10⁵, 10⁵-node cc smoke) and write BENCH_scale.json")
-		big     = fs.Bool("scale-big", false, "with -scale: extend to the 10⁶-node topology build and the ≈10⁷-edge cc run")
-		budget  = fs.Int("budget", 0, "with -scale: wall-clock budget in seconds (0 = none); exceeding it fails the run")
+		runIDs     = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed       = fs.Uint64("seed", 42, "random seed (fixed seed reproduces every number)")
+		quick      = fs.Bool("quick", false, "reduced sweeps")
+		format     = fs.String("format", "text", "output format: text or md")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		task       = fs.String("task", "", "registry task to time instead of experiments (see toposim -list-tasks)")
+		all        = fs.Bool("all", false, "time every registry task on -topo and write combined BENCH_all.json")
+		topo       = fs.String("topo", "twotier", "topology for -task/-all: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
+		n          = fs.Int("n", 100000, "input size for -task/-all")
+		place      = fs.String("place", "uniform", "placement for -task/-all: uniform, zipf, oneheavy, single")
+		reps       = fs.Int("reps", 3, "timed repetitions for -task/-all")
+		workers    = fs.Int("workers", 0, "goroutine budget for -task/-all (0 = all CPUs)")
+		bits       = fs.Int("bits", 0, "bit-width accounting for -task/-all (0 = elements only)")
+		jsonOut    = fs.Bool("json", false, "with -task: also write BENCH_<task>.json with machine-readable results")
+		scale      = fs.Bool("scale", false, "run the data-plane scale sweep (exchange + cc at 10⁴/10⁵, 10⁵-node cc smoke) and write BENCH_scale.json")
+		big        = fs.Bool("scale-big", false, "with -scale: extend to the 10⁶-node topology build and the ≈10⁷-edge cc run")
+		budget     = fs.Int("budget", 0, "with -scale: wall-clock budget in seconds (0 = none); exceeding it fails the run")
+		compare    = fs.String("compare", "", "baseline dir with committed BENCH json (e.g. benchdata/): rerun the matching sweep with the baseline's config and print per-record wall-clock deltas — warn >10% slower, non-zero exit >25%")
+		tracePath  = fs.String("trace", "", "with -task/-all: record a flight-recorder trace across all timed runs and write Chrome trace-event JSON to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve expvar (/debug/vars) and net/http/pprof (/debug/pprof) on this address for live inspection of long sweeps")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,34 +92,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *debugAddr != "" {
+		fmt.Fprintf(stderr, "topobench: debug endpoint on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "topobench: debug endpoint: %v\n", err)
+			}
+		}()
+	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "topobench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "topobench: writing profiles: %v\n", err)
+		}
+	}()
+
 	cfg := benchConfig{
 		topo: *topo, place: *place, n: *n, reps: *reps,
 		workers: *workers, bits: *bits, seed: *seed,
 	}
+	if *tracePath != "" {
+		cfg.tracer = obs.NewTrace()
+	}
+	// finish writes the accumulated trace on a successful task-timing exit.
+	finish := func(code int) int {
+		if code == 0 && cfg.tracer != nil {
+			if err := cfg.tracer.WriteFile(*tracePath); err != nil {
+				fmt.Fprintf(stderr, "topobench: writing trace: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote trace %s (%d events)\n", *tracePath, cfg.tracer.Len())
+		}
+		return code
+	}
+
 	if *scale || *big {
-		if err := runScale(*seed, *big, *budget, stdout); err != nil {
+		sc, err := runScale(*seed, *big, *budget, stdout)
+		if err != nil {
 			fmt.Fprintf(stderr, "topobench: %v\n", err)
 			return 1
 		}
+		if *compare != "" {
+			if err := compareScale(*compare, sc, stdout); err != nil {
+				fmt.Fprintf(stderr, "topobench: %v\n", err)
+				return 1
+			}
+		}
 		return 0
+	}
+	if *compare != "" {
+		if *task != "" || *jsonOut {
+			fmt.Fprintln(stderr, "topobench: -compare conflicts with -task/-json (it reruns every task with the baseline's config)")
+			return 2
+		}
+		if err := compareAll(*compare, cfg, stdout); err != nil {
+			fmt.Fprintf(stderr, "topobench: %v\n", err)
+			return 1
+		}
+		return finish(0)
 	}
 	if *all {
 		if *task != "" || *jsonOut {
 			fmt.Fprintln(stderr, "topobench: -all conflicts with -task/-json (it times every task and always writes BENCH_all.json)")
 			return 2
 		}
-		if err := timeAll(cfg, stdout); err != nil {
+		if _, err := timeAll(cfg, stdout); err != nil {
 			fmt.Fprintf(stderr, "topobench: %v\n", err)
 			return 1
 		}
-		return 0
+		return finish(0)
 	}
 	if *task != "" {
 		if err := timeTask(*task, cfg, *jsonOut, stdout); err != nil {
 			fmt.Fprintf(stderr, "topobench: %v\n", err)
 			return 1
 		}
-		return 0
+		return finish(0)
 	}
 
 	if *list {
@@ -173,13 +239,22 @@ type benchRecord struct {
 	Ratio      float64 `json:"ratio"`
 	Elements   int64   `json:"elements"`
 	Summary    string  `json:"summary"`
+	// Metrics is the flight-recorder registry snapshot accumulated over
+	// all reps of the run (rounds, shipped elements, combining counters).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // timeOne runs one registry task cfg.reps times and reports model cost
 // next to wall-clock time, exercising the exchange-plan runtime end to
 // end.
 func timeOne(spec topompc.Task, cfg benchConfig, stdout io.Writer) (benchRecord, error) {
-	tree, err := cliutil.ParseTopo(cfg.topo)
+	// Assignments into the interface-typed options go through explicit nil
+	// checks so a disabled recorder stays a nil interface, not a typed nil.
+	var topoOpts []topology.FromGraphOption
+	if cfg.tracer != nil {
+		topoOpts = append(topoOpts, topology.FromGraphTracer(cfg.tracer))
+	}
+	tree, err := cliutil.ParseTopo(cfg.topo, topoOpts...)
 	if err != nil {
 		return benchRecord{}, err
 	}
@@ -188,7 +263,13 @@ func timeOne(spec topompc.Task, cfg benchConfig, stdout io.Writer) (benchRecord,
 		reps = 1
 	}
 	cluster := topompc.NewCluster(tree)
-	cluster.SetExecOptions(topompc.ExecOptions{Workers: cfg.workers, BitsPerElement: cfg.bits})
+	reg := obs.NewRegistry()
+	obs.PublishExpvar("topompc_metrics", reg)
+	execOpts := topompc.ExecOptions{Workers: cfg.workers, BitsPerElement: cfg.bits, Metrics: reg}
+	if cfg.tracer != nil {
+		execOpts.Tracer = cfg.tracer
+	}
+	cluster.SetExecOptions(execOpts)
 	rng := rand.New(rand.NewSource(int64(cfg.seed)))
 	placer := cliutil.Placer(cfg.place, int64(cfg.seed))
 	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), cfg.n, 0, 0, cfg.seed)
@@ -231,6 +312,7 @@ func timeOne(spec topompc.Task, cfg benchConfig, stdout io.Writer) (benchRecord,
 	}
 	rec.BestNs = best.Nanoseconds()
 	rec.MelemPerS = float64(cfg.n) / best.Seconds() / 1e6
+	rec.Metrics = reg.Snapshot()
 	fmt.Fprintf(stdout, "best: %v (%.1f Melem/s)\n", best.Round(time.Microsecond), rec.MelemPerS)
 	return rec, nil
 }
@@ -265,22 +347,23 @@ type benchAll struct {
 	Records []benchRecord `json:"records"`
 }
 
-// timeAll times every registered task on the configured fixture and
-// writes the combined BENCH_all.json.
-func timeAll(cfg benchConfig, stdout io.Writer) error {
+// timeAll times every registered task on the configured fixture, writes
+// the combined BENCH_all.json, and returns the payload so -compare can
+// diff it against a committed baseline.
+func timeAll(cfg benchConfig, stdout io.Writer) (benchAll, error) {
 	out := benchAll{Topo: cfg.topo, Place: cfg.place, N: cfg.n, Seed: cfg.seed}
 	for _, spec := range topompc.Tasks() {
 		rec, err := timeOne(spec, cfg, stdout)
 		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
+			return benchAll{}, fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		out.Records = append(out.Records, rec)
 	}
 	if err := writeJSON("BENCH_all.json", out); err != nil {
-		return err
+		return benchAll{}, err
 	}
 	fmt.Fprintf(stdout, "wrote BENCH_all.json (%d tasks)\n", len(out.Records))
-	return nil
+	return out, nil
 }
 
 func writeJSON(path string, v interface{}) error {

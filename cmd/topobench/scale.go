@@ -241,9 +241,10 @@ func topoBuild(nodes int, stdout io.Writer) (scaleRecord, error) {
 }
 
 // runScale executes the -scale sweep (and the -scale-big extension) and
-// writes BENCH_scale.json. A nonzero budget (seconds) fails the run when
-// the sweep's wall clock exceeds it.
-func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) error {
+// writes BENCH_scale.json, returning the payload so -compare can diff it
+// against a committed baseline. A nonzero budget (seconds) fails the run
+// when the sweep's wall clock exceeds it.
+func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) (benchScale, error) {
 	start := time.Now()
 	out := benchScale{Seed: seed}
 	add := func(rec scaleRecord, err error) error {
@@ -256,26 +257,26 @@ func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) error {
 
 	for _, nodes := range []int{10_000, 100_000} {
 		if err := add(exchangeScale(nodes, stdout)); err != nil {
-			return err
+			return benchScale{}, err
 		}
 	}
 	for _, n := range []int{10_000, 100_000} {
 		if err := add(ccScale(n, seed, stdout)); err != nil {
-			return err
+			return benchScale{}, err
 		}
 	}
 	// The -scale smoke: a 10⁵-node caterpillar hosting an average-degree-4
 	// G(n, p) connectivity run.
 	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, stdout)); err != nil {
-		return err
+		return benchScale{}, err
 	}
 	if big {
 		if err := add(topoBuild(1_000_000, stdout)); err != nil {
-			return err
+			return benchScale{}, err
 		}
 		// ≈10⁷ edges: p·n(n−1)/2 with n = 10⁶, p = 2·10⁻⁵.
 		if err := add(ccSmoke("cc-big", 1_000_000, 1_000_000, 2e-5, seed, stdout)); err != nil {
-			return err
+			return benchScale{}, err
 		}
 	}
 
@@ -284,13 +285,13 @@ func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) error {
 		out.BudgetNs = int64(budgetSec) * int64(time.Second)
 	}
 	if err := writeJSON("BENCH_scale.json", out); err != nil {
-		return err
+		return benchScale{}, err
 	}
 	fmt.Fprintf(stdout, "wrote BENCH_scale.json (%d records, %v wall)\n",
 		len(out.Records), time.Duration(out.WallNs).Round(time.Millisecond))
 	if out.BudgetNs > 0 && out.WallNs > out.BudgetNs {
-		return fmt.Errorf("scale sweep took %v, over the %ds budget",
+		return out, fmt.Errorf("scale sweep took %v, over the %ds budget",
 			time.Duration(out.WallNs).Round(time.Millisecond), budgetSec)
 	}
-	return nil
+	return out, nil
 }

@@ -26,6 +26,8 @@ import (
 
 	"topompc"
 	"topompc/internal/cliutil"
+	"topompc/internal/obs"
+	"topompc/internal/topology"
 )
 
 func main() {
@@ -39,17 +41,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("toposim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		topo      = fs.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
-		task      = fs.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
-		n         = fs.Int("n", 10000, "total input size (pair tasks split it between R and S)")
-		sizeR     = fs.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")
-		sizeS     = fs.Int("sizeS", 0, "pair tasks: |S| (default 3n/4, or n/2 for equal-pair tasks)")
-		place     = fs.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
-		seed      = fs.Int64("seed", 42, "random seed")
-		workers   = fs.Int("workers", 0, "goroutine budget for planning and accounting (0 = all CPUs)")
-		bits      = fs.Int("bits", 0, "report costs in bits at this element width (0 = elements only)")
-		edges     = fs.Bool("edges", false, "print the per-link utilization table")
-		listTasks = fs.Bool("list-tasks", false, "list registered tasks and exit")
+		topo       = fs.String("topo", "star:4x1", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, mesh, ring-of-racks, clos, fanout, or @file.json (tree or general network)")
+		task       = fs.String("task", "intersect", "task name from the protocol registry (see -list-tasks)")
+		n          = fs.Int("n", 10000, "total input size (pair tasks split it between R and S)")
+		sizeR      = fs.Int("sizeR", 0, "pair tasks: |R| (default n/4, or n/2 for equal-pair tasks)")
+		sizeS      = fs.Int("sizeS", 0, "pair tasks: |S| (default 3n/4, or n/2 for equal-pair tasks)")
+		place      = fs.String("place", "uniform", "placement: uniform, zipf, oneheavy, single")
+		seed       = fs.Int64("seed", 42, "random seed")
+		workers    = fs.Int("workers", 0, "goroutine budget for planning and accounting (0 = all CPUs)")
+		bits       = fs.Int("bits", 0, "report costs in bits at this element width (0 = elements only)")
+		edges      = fs.Bool("edges", false, "print the per-link utilization table")
+		listTasks  = fs.Bool("list-tasks", false, "list registered tasks and exit")
+		tracePath  = fs.String("trace", "", "record a flight-recorder trace and write it as Chrome trace-event JSON to this file")
+		checkTrace = fs.String("check-trace", "", "validate a Chrome trace-event JSON file against the recorder schema and exit")
+		metrics    = fs.Bool("metrics", false, "collect the flight-recorder metrics registry and print its snapshot")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,18 +72,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *checkTrace != "" {
+		data, err := os.ReadFile(*checkTrace)
+		if err != nil {
+			fmt.Fprintf(stderr, "toposim: %v\n", err)
+			return 1
+		}
+		if err := obs.ValidateTraceJSON(data); err != nil {
+			fmt.Fprintf(stderr, "toposim: %s: %v\n", *checkTrace, err)
+			return 1
+		}
+		events, err := obs.ParseTraceJSON(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "toposim: %s: %v\n", *checkTrace, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid trace, %d events\n", *checkTrace, len(events))
+		return 0
+	}
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "toposim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "toposim: writing profiles: %v\n", err)
+		}
+	}()
+
 	spec, ok := topompc.LookupTask(*task)
 	if !ok {
 		fmt.Fprintf(stderr, "toposim: unknown task %q (use -list-tasks)\n", *task)
 		return 1
 	}
-	tree, err := cliutil.ParseTopo(*topo)
+
+	// Flight recorder: one trace spans the whole invocation, so the cut-tree
+	// build of general networks lands in the same file as the task's rounds.
+	// Assignments into the interface-typed options go through explicit nil
+	// checks so a disabled recorder stays a nil interface, not a typed nil.
+	var tracer *obs.Trace
+	var topoOpts []topology.FromGraphOption
+	execOpts := topompc.ExecOptions{Workers: *workers, BitsPerElement: *bits}
+	if *tracePath != "" {
+		tracer = obs.NewTrace()
+		execOpts.Tracer = tracer
+		topoOpts = append(topoOpts, topology.FromGraphTracer(tracer))
+	}
+	if *metrics {
+		execOpts.Metrics = obs.NewRegistry()
+	}
+
+	tree, err := cliutil.ParseTopo(*topo, topoOpts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "toposim: %v\n", err)
 		return 1
 	}
 	cluster := topompc.NewCluster(tree)
-	cluster.SetExecOptions(topompc.ExecOptions{Workers: *workers, BitsPerElement: *bits})
+	cluster.SetExecOptions(execOpts)
 
 	fmt.Fprintln(stdout, "topology:")
 	fmt.Fprint(stdout, cluster)
@@ -104,6 +158,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *edges {
 		fmt.Fprintln(stdout, "\nper-link utilization:")
 		fmt.Fprint(stdout, res.Report.EdgeTable())
+	}
+	if execOpts.Metrics != nil {
+		fmt.Fprintln(stdout, "\nmetrics:")
+		snap := execOpts.Metrics.Snapshot()
+		for _, k := range obs.SnapshotKeys(snap) {
+			fmt.Fprintf(stdout, "  %-34s %g\n", k, snap[k])
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			fmt.Fprintf(stderr, "toposim: writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			tracer.Len(), *tracePath)
 	}
 	return 0
 }

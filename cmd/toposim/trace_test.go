@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topompc/internal/obs"
+)
+
+// TestTraceFlagEndToEnd runs a task with -trace and -metrics, checks the
+// written file passes the schema check (both in-process and via the
+// -check-trace mode), and verifies the acceptance invariant: the traced
+// per-round costs sum to the reported total cost.
+func TestTraceFlagEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-topo", "caterpillar-grade", "-task", "cc", "-n", "900",
+		"-trace", path, "-metrics"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"trace:", "metrics:", "netsim.rounds"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(data); err != nil {
+		t.Fatalf("trace fails schema check: %v", err)
+	}
+
+	// The flight recorder must not change the accounting: summing the cost
+	// argument of every netsim round event reproduces the reported total.
+	events, err := obs.ParseTraceJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var rounds int
+	for _, ev := range events {
+		if ev.Cat != "netsim.round" {
+			continue
+		}
+		rounds++
+		c, ok := ev.Args["cost"].(float64)
+		if !ok {
+			t.Fatalf("round event without numeric cost: %+v", ev)
+		}
+		sum += c
+	}
+	if rounds == 0 {
+		t.Fatal("trace has no netsim.round events")
+	}
+	var total float64
+	for _, field := range strings.Fields(out.String()) {
+		if rest, ok := strings.CutPrefix(field, "total_cost="); ok {
+			if err := json.Unmarshal([]byte(rest), &total); err != nil {
+				t.Fatalf("parsing total cost from %q: %v", field, err)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("could not find total_cost in output:\n%s", out.String())
+	}
+	// The report prints the total rounded to 3 decimals.
+	if diff := sum - total; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("trace round costs sum to %v, report says %v", sum, total)
+	}
+
+	// The -check-trace mode agrees.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check-trace", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-check-trace exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid trace") {
+		t.Errorf("-check-trace should confirm validity:\n%s", out.String())
+	}
+}
+
+// TestCheckTraceRejectsGarbage feeds -check-trace a non-trace file.
+func TestCheckTraceRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"traceEvents": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-check-trace", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}
+
+// TestProfileFlagsWriteFiles checks -cpuprofile/-memprofile produce
+// non-empty pprof files.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut strings.Builder
+	code := run([]string{"-topo", "twotier", "-task", "sort", "-n", "2000",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -6,10 +6,16 @@
 // hierarchy (depth, per-level cuts, blocks, and combining-pays marks), and
 // the square packing of the cartesian product (Figure 4).
 //
+// With -task it additionally runs that protocol under the flight
+// recorder and renders a round waterfall: one bar per exchange round,
+// scaled to the per-round max-edge cost, annotated with the bottleneck
+// link.
+//
 // Usage:
 //
 //	topoviz -topo twotier -loads 40,40,40,40,40,40,40,40,40,40,40,40 -sizeR 50
 //	topoviz -topo @cluster.json
+//	topoviz -topo caterpillar-grade -task cc -n 3000
 package main
 
 import (
@@ -17,13 +23,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
+	"topompc"
 	"topompc/internal/cliutil"
 	"topompc/internal/core/cartesian"
 	"topompc/internal/core/place"
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -41,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		topo     = fs.String("topo", "twotier", "topology: star:PxW, twotier, fattree, caterpillar, fattree-taper, caterpillar-grade, or @file.json")
 		loadsCSV = fs.String("loads", "", "comma-separated N_v per compute node (default: 100 each)")
 		sizeR    = fs.Int64("sizeR", 0, "|R| for the α/β classification (default N/4)")
+		task     = fs.String("task", "", "run this registry task under the flight recorder and render its round waterfall")
+		taskN    = fs.Int("n", 3000, "with -task: total input size")
+		placeFn  = fs.String("place", "uniform", "with -task: placement (uniform, zipf, oneheavy, single)")
+		seed     = fs.Int64("seed", 42, "with -task: random seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -200,7 +213,87 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, p := range placed {
 		fmt.Fprintf(stdout, "  %s: %d×%d at (%d, %d)\n", tree.Name(p.Node), p.Side, p.Side, p.X, p.Y)
 	}
+
+	if *task != "" {
+		if err := waterfall(stdout, tree, *task, *placeFn, *taskN, *seed); err != nil {
+			return fail(stderr, err)
+		}
+	}
 	return 0
+}
+
+// waterfall runs one registry task under the flight recorder and renders
+// its exchange rounds as a bar chart of the per-round max-edge cost (the
+// quantity the paper's cost model charges), annotated with each round's
+// bottleneck link. Rounds appear in emission order, so hierarchy levels
+// and Borůvka phases read top to bottom as they executed.
+func waterfall(stdout io.Writer, tree *topology.Tree, taskName, placeName string, n int, seed int64) error {
+	spec, ok := topompc.LookupTask(taskName)
+	if !ok {
+		return fmt.Errorf("unknown task %q (see toposim -list-tasks)", taskName)
+	}
+	tracer := obs.NewTrace()
+	cluster := topompc.NewCluster(tree)
+	cluster.SetExecOptions(topompc.ExecOptions{Tracer: tracer})
+	rng := rand.New(rand.NewSource(seed))
+	placer := cliutil.Placer(placeName, seed)
+	in, err := cliutil.TaskData(spec, rng, placer, cluster.NumNodes(), n, 0, 0, uint64(seed))
+	if err != nil {
+		return err
+	}
+	res, err := cluster.RunTask(spec.Name, in)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		idx  int
+		cost float64
+		link string
+	}
+	var rows []row
+	var maxCost, sum float64
+	for _, ev := range tracer.Events() {
+		if ev.Cat != "netsim.round" {
+			continue
+		}
+		var r row
+		if v, ok := ev.Args["round"].(int); ok {
+			r.idx = v
+		}
+		if v, ok := ev.Args["cost"].(float64); ok {
+			r.cost = v
+		}
+		if v, ok := ev.Args["bottleneck_link"].(string); ok {
+			r.link = v
+		}
+		rows = append(rows, r)
+		sum += r.cost
+		if r.cost > maxCost {
+			maxCost = r.cost
+		}
+	}
+
+	fmt.Fprintf(stdout, "\n== round waterfall (%s, n=%d, place=%s, seed=%d) ==\n",
+		spec.Name, n, placeName, seed)
+	fmt.Fprintf(stdout, "  %s\n", res.Summary)
+	const width = 40
+	for _, r := range rows {
+		bar := 0
+		if maxCost > 0 {
+			bar = int(r.cost / maxCost * width)
+		}
+		if bar == 0 && r.cost > 0 {
+			bar = 1
+		}
+		link := ""
+		if r.link != "" {
+			link = "  via " + r.link
+		}
+		fmt.Fprintf(stdout, "  round %3d %10.1f  %-*s%s\n", r.idx, r.cost, width, strings.Repeat("█", bar), link)
+	}
+	fmt.Fprintf(stdout, "  total cost %.3f over %d rounds (reported %.3f)\n", sum, len(rows), res.Cost.Cost)
+	return nil
 }
 
 func fail(stderr io.Writer, err error) int {

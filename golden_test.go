@@ -37,7 +37,11 @@ type goldenEntry struct {
 
 func goldenPath() string { return filepath.Join("testdata", "golden_costs.json") }
 
-func runGoldenGrid(t *testing.T) map[string]goldenEntry {
+// runGoldenGrid executes every registry task on the fixture grid. A
+// non-nil execOpts is applied to each cluster before running — the
+// flight-recorder regression test uses this to prove instrumentation
+// leaves the accounting untouched.
+func runGoldenGrid(t *testing.T, execOpts *topompc.ExecOptions) map[string]goldenEntry {
 	t.Helper()
 	got := make(map[string]goldenEntry)
 	for _, topo := range fixtureTopos {
@@ -45,6 +49,9 @@ func runGoldenGrid(t *testing.T) map[string]goldenEntry {
 			c, err := topo.Build()
 			if err != nil {
 				t.Fatal(err)
+			}
+			if execOpts != nil {
+				c.SetExecOptions(*execOpts)
 			}
 			for _, spec := range topompc.Tasks() {
 				key := fmt.Sprintf("%s/%s/%s", spec.Name, topo.Name, place)
@@ -66,7 +73,7 @@ func runGoldenGrid(t *testing.T) map[string]goldenEntry {
 }
 
 func TestGoldenCosts(t *testing.T) {
-	got := runGoldenGrid(t)
+	got := runGoldenGrid(t, nil)
 
 	if *update {
 		keys := make([]string, 0, len(got))

@@ -54,7 +54,10 @@ var (
 // generic "not a tree" from deep inside topology construction. A file is
 // read as a tree first; if only the tree-shape rules fail (edge count,
 // duplicate links), it is re-validated as a general network.
-func ParseTopo(spec string) (*topology.Tree, error) {
+//
+// opts (e.g. topology.FromGraphTracer) apply to the cut-tree compression
+// of general networks; tree specs construct directly and ignore them.
+func ParseTopo(spec string, opts ...topology.FromGraphOption) (*topology.Tree, error) {
 	switch {
 	case strings.HasPrefix(spec, "@"):
 		path := spec[1:]
@@ -79,7 +82,7 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 			if gerr != nil {
 				return nil, fmt.Errorf("%s: %w", path, gerr)
 			}
-			t, gerr := topology.FromGraph(g)
+			t, gerr := topology.FromGraph(g, opts...)
 			if gerr != nil {
 				return nil, fmt.Errorf("%s: %w", path, gerr)
 			}
@@ -119,15 +122,15 @@ func ParseTopo(spec string) (*topology.Tree, error) {
 		// depth-2 weak-cut hierarchy (halves then pairs).
 		return topology.Caterpillar([]float64{8, 3, 0.5, 3, 8}, 8)
 	case spec == "mesh":
-		return graphTopo(topology.Mesh(4, 4, 2))
+		return graphTopoOpts(opts)(topology.Mesh(4, 4, 2))
 	case spec == "ring-of-racks":
-		return graphTopo(topology.RingOfRacks(4, 2, 3, 8))
+		return graphTopoOpts(opts)(topology.RingOfRacks(4, 2, 3, 8))
 	case spec == "clos":
-		return graphTopo(topology.Clos(2, 3, 2, 4, 10))
+		return graphTopoOpts(opts)(topology.Clos(2, 3, 2, 4, 10))
 	case spec == "fanout":
 		// Seeded so the overlay — and everything downstream of it — is
 		// reproducible run to run.
-		return graphTopo(topology.RandomizedFanout(rand.New(rand.NewSource(42)), 12, 2, 0.5, 4))
+		return graphTopoOpts(opts)(topology.RandomizedFanout(rand.New(rand.NewSource(42)), 12, 2, 0.5, 4))
 	default:
 		return nil, fmt.Errorf("unknown topology %q", spec)
 	}
@@ -213,13 +216,17 @@ func validateSpec(s topology.Spec, graph bool) error {
 	return nil
 }
 
-// graphTopo compresses a generated general network to its cut tree,
-// propagating whichever step failed.
-func graphTopo(g *topology.Graph, err error) (*topology.Tree, error) {
-	if err != nil {
-		return nil, err
+// graphTopoOpts curries the FromGraph options so generator calls can pass
+// their (graph, error) pair straight through: the returned func compresses
+// a generated general network to its cut tree, propagating whichever step
+// failed.
+func graphTopoOpts(opts []topology.FromGraphOption) func(*topology.Graph, error) (*topology.Tree, error) {
+	return func(g *topology.Graph, err error) (*topology.Tree, error) {
+		if err != nil {
+			return nil, err
+		}
+		return topology.FromGraph(g, opts...)
 	}
-	return topology.FromGraph(g)
 }
 
 // PlaceFunc splits keys over p nodes.

@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the pprof captures behind the cmd tools'
+// -cpuprofile/-memprofile flags. The returned stop func ends the CPU
+// capture and writes the heap profile (after a final GC, so it shows
+// retained memory rather than transient garbage); callers must invoke it
+// before exiting. Empty paths disable the respective capture, so the
+// default path costs nothing.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -6,6 +6,7 @@ import (
 	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -59,12 +60,27 @@ func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.Comb
 		return nil, err
 	}
 
+	hier := place.HierarchyFor(t)
 	var steps []place.UpStep
-	if h := place.HierarchyFor(t); h != nil {
-		steps = h.UpSweepOpt(weights, copt)
+	if hier != nil {
+		steps = hier.UpSweepOpt(weights, copt)
 	}
 
 	e := netsim.NewEngine(t, opts...)
+	// Flight recorder: the hierarchy's combining decisions plus one span
+	// per up-sweep level recording shipped vs merged volume; all behind nil
+	// checks when the engine has no recorder.
+	tc := e.Tracer()
+	mx := e.Metrics()
+	var aggTid int64
+	if tc != nil {
+		aggTid = tc.NewTid("aggregate up-sweep")
+		hier.TraceCombine(tc, weights, copt)
+	}
+	mLevels := mx.Counter("aggregate.upsweep_rounds")
+	mShipped := mx.Counter("aggregate.shipped_elements")
+	mMerged := mx.Counter("aggregate.merged_groups")
+
 	partials := in.local
 	strategy := "capacity-hash"
 	if len(steps) > 0 {
@@ -75,6 +91,10 @@ func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.Comb
 		state := make([]map[uint64]int64, len(in.nodes))
 		copy(state, in.local)
 		for _, st := range steps {
+			var sp obs.Span
+			if tc != nil {
+				sp = obs.Begin(tc, aggTid, fmt.Sprintf("combine level %d", st.Level), "aggregate.level")
+			}
 			x := e.Exchange()
 			x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
 				i := indexOf(in.nodes, v)
@@ -82,7 +102,8 @@ func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.Comb
 					out.Send(in.nodes[st.Target[i]], tagUp, partialMsg(state[i], sortedGroups(state[i])))
 				}
 			})
-			x.Execute()
+			rst := x.Execute()
+			var arrived int64 // group partials merged at combiners this level
 			next := make([]map[uint64]int64, len(in.nodes))
 			for i, v := range in.nodes {
 				if st.Target[i] != i {
@@ -103,11 +124,21 @@ func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.Comb
 						m = c
 						merged = true
 					}
+					arrived += int64(len(msg.Keys) / 2)
 					decodePartials(m, msg.Keys)
 				}
 				next[i] = m
 			}
 			state = next
+			mLevels.Inc()
+			mShipped.Add(rst.Elements)
+			mMerged.Add(arrived)
+			if tc != nil {
+				sp.End(map[string]any{
+					"level": st.Level, "shipped_elements": rst.Elements,
+					"merged_groups": arrived, "round_cost": rst.Cost,
+				})
+			}
 		}
 		partials = state
 	}

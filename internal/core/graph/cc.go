@@ -7,6 +7,7 @@ import (
 	"topompc/internal/core/place"
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -1164,10 +1165,11 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 
 	strategy := "flat"
 	var steps []place.UpStep
+	var hier *place.Hierarchy
 	if aware {
 		strategy = "aware"
-		if h := place.HierarchyFor(tr); h != nil {
-			if steps = h.UpSweep(weights); len(steps) > 0 {
+		if hier = place.HierarchyFor(tr); hier != nil {
+			if steps = hier.UpSweep(weights); len(steps) > 0 {
 				strategy = fmt.Sprintf("aware+combine×%d", len(steps))
 			}
 		}
@@ -1264,13 +1266,36 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		pr.collectNext(i)
 	}
 
+	// Flight recorder: contraction metrics plus one span per Borůvka phase
+	// on a dedicated lane, and the hierarchy's combining decisions. All of
+	// it vanishes behind nil checks when the engine has no recorder.
+	tc := pr.e.Tracer()
+	mx := pr.e.Metrics()
+	var phaseTid int64
+	if tc != nil {
+		phaseTid = tc.NewTid("graph cc phases")
+		hier.TraceCombine(tc, weights, place.CombineOptions{})
+	}
+	mPhases := mx.Counter("graph.cc.phases")
+	mActive := mx.Histogram("graph.cc.active_edges")
+
 	phases := 0
-	for pr.totalActive() > 0 {
+	for {
+		act := pr.totalActive()
+		if act == 0 {
+			break
+		}
 		if phases == maxPhases {
 			return nil, fmt.Errorf("graph: contraction did not converge after %d phases", maxPhases)
 		}
 		phases++
 		pr.phase = int32(phases)
+		mPhases.Inc()
+		mActive.Observe(float64(act))
+		var sp obs.Span
+		if tc != nil {
+			sp = obs.Begin(tc, phaseTid, fmt.Sprintf("boruvka phase %d", phases), "graph.phase")
+		}
 		pr.propose()
 		if err := pr.jump(pr.hook()); err != nil {
 			return nil, err
@@ -1278,6 +1303,9 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		pr.lookups()
 		if err := pr.relabel(); err != nil {
 			return nil, err
+		}
+		if tc != nil {
+			sp.End(map[string]any{"phase": phases, "active_edges": act})
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -43,6 +44,38 @@ func TestExchangeSteadyStateAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state exchange round allocates: got %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestExchangeSteadyStateAllocFreeWithMetrics pins the same guarantee with
+// the metrics registry attached: instruments are resolved at construction
+// and updated with bare atomics, so recording must not reintroduce
+// steady-state allocation. (Tracing is exempt — emitting events buffers
+// them by design.)
+func TestExchangeSteadyStateAllocFreeWithMetrics(t *testing.T) {
+	tr := benchCaterpillar(t)
+	batch := benchTransferBatch(tr, 4096)
+	e := NewEngine(tr, WithWorkers(1), WithLeanStats(), WithMetrics(obs.NewRegistry()))
+
+	for i := 0; i < 4; i++ {
+		x := e.Exchange()
+		planBatch(x, batch)
+		x.Execute()
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		x := e.Exchange()
+		planBatch(x, batch)
+		x.Execute()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state round with metrics allocates: got %.1f allocs/op, want 0", allocs)
+	}
+	if got := e.Metrics().Counter("netsim.rounds").Value(); got != 15 {
+		t.Fatalf("netsim.rounds = %d, want 15 (4 warmup + 11 measured)", got)
+	}
+	if got := e.Metrics().Counter("netsim.arena_recycled_rounds").Value(); got != 13 {
+		t.Fatalf("netsim.arena_recycled_rounds = %d, want 13 (all but the two buffer births)", got)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 type Exchange struct {
 	e    *Engine
 	outs []Outbox // one per compute node, in ComputeNodes order
+	t0   float64  // trace timestamp of Exchange() (tracing only)
 	done bool
 }
 
@@ -51,6 +52,11 @@ func (e *Engine) Exchange() *Exchange {
 	if x.e == nil {
 		x.e = e
 		x.outs = make([]Outbox, e.t.NumCompute())
+	} else if e.mRecycle != nil {
+		e.mRecycle.Inc()
+	}
+	if e.tracer != nil {
+		x.t0 = e.tracer.Now()
 	}
 	x.done = false
 	return x
@@ -352,6 +358,7 @@ func accountRound(x *Exchange, slot int, async bool) {
 	shards[0].acc.FlushInto(traffic)
 
 	e.finishStats(slot, traffic, sent, received)
+	e.recordRound(slot, x.t0)
 
 	for i := range x.outs {
 		x.outs[i].reset()

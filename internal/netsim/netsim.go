@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -107,6 +108,20 @@ type Engine struct {
 	tallyWG sync.WaitGroup // in-flight shard tally workers of one round
 	planWG  sync.WaitGroup // in-flight Plan workers of one call
 	planIdx atomic.Int64   // work-stealing cursor shared by Plan workers
+
+	// Flight recorder. Both sinks are optional; with neither attached every
+	// hook below reduces to a nil comparison, preserving the zero-alloc
+	// steady state pinned by TestExchangeSteadyStateAllocFree. Metric
+	// instruments are resolved once at construction so round accounting
+	// updates them with bare atomics.
+	tracer   obs.Tracer
+	traceTid int64
+	metrics  *obs.Registry
+	mRounds  *obs.Counter
+	mElems   *obs.Counter
+	mCost    *obs.Histogram
+	mMaxRecv *obs.Gauge
+	mRecycle *obs.Counter
 }
 
 // Option configures an Engine.
@@ -132,6 +147,20 @@ func WithLeanStats() Option {
 	return func(e *Engine) { e.leanStats = true }
 }
 
+// WithTracer attaches a trace sink: the engine allocates one lane and
+// emits a complete event per committed round carrying the round's cost,
+// bottleneck edge, and volume. A nil tracer leaves tracing disabled.
+func WithTracer(tr obs.Tracer) Option {
+	return func(e *Engine) { e.tracer = tr }
+}
+
+// WithMetrics attaches a metrics registry: round accounting feeds the
+// netsim.* instruments (rounds, elements, round-cost histogram, arena
+// recycle count). A nil registry leaves metrics disabled.
+func WithMetrics(r *obs.Registry) Option {
+	return func(e *Engine) { e.metrics = r }
+}
+
 // NewEngine returns an engine for the given tree with empty inboxes.
 func NewEngine(t *topology.Tree, opts ...Option) *Engine {
 	e := &Engine{
@@ -151,7 +180,58 @@ func NewEngine(t *topology.Tree, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.tracer != nil {
+		e.traceTid = e.tracer.NewTid("netsim rounds")
+	}
+	if e.metrics != nil {
+		e.mRounds = e.metrics.Counter("netsim.rounds")
+		e.mElems = e.metrics.Counter("netsim.elements")
+		e.mCost = e.metrics.Histogram("netsim.round_cost")
+		e.mMaxRecv = e.metrics.Gauge("netsim.max_received")
+		e.mRecycle = e.metrics.Counter("netsim.arena_recycled_rounds")
+	}
 	return e
+}
+
+// Tracer reports the attached trace sink (nil when tracing is disabled),
+// letting protocol layers running on this engine share the same trace.
+func (e *Engine) Tracer() obs.Tracer { return e.tracer }
+
+// Metrics reports the attached metrics registry (nil when disabled).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// recordRound feeds the flight recorder once a round's statistics are
+// final: metric updates plus one complete trace event on the engine's
+// lane spanning open-to-accounted. Runs on the accounting goroutine for
+// asynchronous exchanges; both sinks are concurrency-safe.
+func (e *Engine) recordRound(slot int, t0 float64) {
+	rd := &e.rounds[slot]
+	if e.metrics != nil {
+		e.mRounds.Inc()
+		e.mElems.Add(rd.Elements)
+		e.mCost.Observe(rd.Cost)
+		e.mMaxRecv.SetMax(float64(rd.MaxReceived))
+	}
+	if e.tracer == nil {
+		return
+	}
+	args := map[string]any{
+		"round":        rd.Index,
+		"cost":         rd.Cost,
+		"elements":     rd.Elements,
+		"messages":     rd.Messages,
+		"max_received": rd.MaxReceived,
+	}
+	if rd.BottleneckEdge != topology.NoEdge {
+		a, b := e.t.Endpoints(rd.BottleneckEdge)
+		args["bottleneck_edge"] = int(rd.BottleneckEdge)
+		args["bottleneck_link"] = e.t.Name(a) + "–" + e.t.Name(b)
+	}
+	e.tracer.Emit(obs.Event{
+		Name: "round", Cat: "netsim.round", Ph: obs.PhComplete,
+		Ts: t0, Dur: e.tracer.Now() - t0,
+		Pid: obs.Pid, Tid: e.traceTid, Args: args,
+	})
 }
 
 // workerCount resolves the goroutine budget for n independent work items.
@@ -215,12 +295,16 @@ func (e *Engine) BeginRound() *Round {
 	}
 	e.pending.Wait()
 	e.inRound = true
-	return &Round{
+	r := &Round{
 		e:        e,
 		traffic:  make([]int64, e.t.NumEdges()),
 		sent:     make([]int64, e.t.NumNodes()),
 		received: make([]int64, e.t.NumNodes()),
 	}
+	if e.tracer != nil {
+		r.t0 = e.tracer.Now()
+	}
+	return r
 }
 
 // Round is one open communication round.
@@ -231,6 +315,7 @@ type Round struct {
 	received []int64
 	messages int
 	elements int64
+	t0       float64 // trace timestamp of BeginRound (tracing only)
 	done     bool
 }
 
@@ -307,19 +392,20 @@ func (r *Round) Finish() RoundStats {
 		panic("netsim: Finish called twice")
 	}
 	r.done = true
-	return r.e.commitRound(r.traffic, r.sent, r.received, r.messages, r.elements)
+	return r.e.commitRound(r.traffic, r.sent, r.received, r.messages, r.elements, r.t0)
 }
 
 // commitRound computes the round cost from the accounted traffic, records
 // the statistics, and makes all deliveries visible in the inboxes. It is
 // the synchronous path of the per-message Round API; exchanges commit
 // through execute/accountRound instead.
-func (e *Engine) commitRound(traffic, sent, received []int64, messages int, elements int64) RoundStats {
+func (e *Engine) commitRound(traffic, sent, received []int64, messages int, elements int64, t0 float64) RoundStats {
 	e.inRound = false
 
 	slot := len(e.rounds)
 	e.rounds = append(e.rounds, RoundStats{Index: slot, Messages: messages, Elements: elements})
 	e.finishStats(slot, traffic, sent, received)
+	e.recordRound(slot, t0)
 	e.swapInboxes()
 	return e.rounds[slot]
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ParseTraceJSON decodes Chrome trace-event JSON in the object format
+// this package writes ({"traceEvents": [...]}).
+func ParseTraceJSON(data []byte) ([]Event, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("obs: trace JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return nil, fmt.Errorf("obs: trace JSON has no traceEvents array")
+	}
+	return tf.TraceEvents, nil
+}
+
+// ValidateTraceJSON checks that data is well-formed Chrome trace-event
+// JSON as this package defines it: a traceEvents array whose every event
+// has a name, a known phase, non-negative timestamps/durations, and — for
+// B/E pairs — balanced nesting per (pid, tid) lane. It is the schema gate
+// CI runs over emitted trace artifacts.
+func ValidateTraceJSON(data []byte) error {
+	events, err := ParseTraceJSON(data)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	open := make(map[[2]int64]int)
+	for i, e := range events {
+		if e.Name == "" {
+			return fmt.Errorf("obs: event %d has no name", i)
+		}
+		switch e.Ph {
+		case PhComplete, PhInstant, PhCounter, PhMetadata, PhBegin, PhEnd, "I":
+		default:
+			return fmt.Errorf("obs: event %d (%q) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts < 0 {
+			return fmt.Errorf("obs: event %d (%q) has negative timestamp %v", i, e.Name, e.Ts)
+		}
+		if e.Dur < 0 {
+			return fmt.Errorf("obs: event %d (%q) has negative duration %v", i, e.Name, e.Dur)
+		}
+		if e.Dur != 0 && e.Ph != PhComplete {
+			return fmt.Errorf("obs: event %d (%q) has a duration but phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ph == PhMetadata {
+			if _, ok := e.Args["name"]; !ok {
+				return fmt.Errorf("obs: metadata event %d (%q) has no args.name", i, e.Name)
+			}
+		}
+		lane := [2]int64{e.Pid, e.Tid}
+		switch e.Ph {
+		case PhBegin:
+			open[lane]++
+		case PhEnd:
+			open[lane]--
+			if open[lane] < 0 {
+				return fmt.Errorf("obs: event %d (%q) ends an unopened span on pid %d tid %d",
+					i, e.Name, e.Pid, e.Tid)
+			}
+		}
+	}
+	for lane, n := range open {
+		if n != 0 {
+			return fmt.Errorf("obs: %d unclosed span(s) on pid %d tid %d", n, lane[0], lane[1])
+		}
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 	"topompc/internal/dataset"
 	"topompc/internal/lowerbound"
 	"topompc/internal/netsim"
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -50,6 +51,16 @@ type ExecOptions struct {
 	// bits (Cost.Bits = Cost.Cost × BitsPerElement) — the paper's log N
 	// wire-width factor.
 	BitsPerElement int
+	// Tracer, when non-nil, attaches the flight recorder: every engine the
+	// protocols create emits per-round spans (cost, bottleneck edge) and
+	// the protocol layers add phase/level spans and combining decisions,
+	// all into this sink (typically an obs.Trace exported as Chrome
+	// trace-event JSON). Nil keeps tracing disabled at zero overhead.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, collects counters/gauges/histograms
+	// (netsim.*, graph.*, aggregate.*) across all protocol executions for
+	// snapshotting into benchmark records or expvar.
+	Metrics *obs.Registry
 }
 
 // SetExecOptions configures protocol execution for all subsequent task
@@ -58,10 +69,17 @@ func (c *Cluster) SetExecOptions(o ExecOptions) { c.exec = o }
 
 // netsimOpts lowers the options onto the engine.
 func (o ExecOptions) netsimOpts() []netsim.Option {
-	if o.Workers == 0 {
-		return nil
+	var opts []netsim.Option
+	if o.Workers != 0 {
+		opts = append(opts, netsim.WithWorkers(o.Workers))
 	}
-	return []netsim.Option{netsim.WithWorkers(o.Workers)}
+	if o.Tracer != nil {
+		opts = append(opts, netsim.WithTracer(o.Tracer))
+	}
+	if o.Metrics != nil {
+		opts = append(opts, netsim.WithMetrics(o.Metrics))
+	}
+	return opts
 }
 
 // StarCluster builds a star: one central router and len(bandwidths)

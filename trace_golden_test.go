@@ -1,0 +1,63 @@
+package topompc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"topompc"
+	"topompc/internal/obs"
+)
+
+// TestGoldenCostsUnchangedUnderFlightRecorder runs the full golden grid
+// twice — once plain, once with a Tracer and a metrics Registry attached
+// — and requires the two result sets to serialize byte-identically. The
+// flight recorder observes the exchange engine from the outside; if
+// attaching it shifts a single round count, cost, bound, or element
+// tally anywhere in the grid, this fails before the golden file ever
+// needs to change.
+func TestGoldenCostsUnchangedUnderFlightRecorder(t *testing.T) {
+	plain := runGoldenGrid(t, nil)
+
+	tracer := obs.NewTrace()
+	reg := obs.NewRegistry()
+	traced := runGoldenGrid(t, &topompc.ExecOptions{Tracer: tracer, Metrics: reg})
+
+	if len(traced) != len(plain) {
+		t.Fatalf("traced grid produced %d entries, plain %d", len(traced), len(plain))
+	}
+	for key, p := range plain {
+		if tr := traced[key]; tr != p {
+			t.Errorf("%s: traced run diverged: got %+v, want %+v", key, tr, p)
+		}
+	}
+	// json.Marshal sorts map keys, so equal maps marshal byte-identically.
+	pb, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := json.Marshal(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, tb) {
+		t.Error("traced golden entries are not byte-identical to the plain run")
+	}
+
+	// The recorder must actually have been recording, and its output must
+	// round-trip through its own schema check.
+	if tracer.Len() == 0 {
+		t.Fatal("tracer collected no events across the golden grid")
+	}
+	snap := reg.Snapshot()
+	if snap["netsim.rounds"] <= 0 || snap["netsim.round_cost.sum"] <= 0 {
+		t.Errorf("metrics registry missing exchange counters: %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("golden-grid trace fails schema check: %v", err)
+	}
+}
