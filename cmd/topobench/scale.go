@@ -44,11 +44,13 @@ type scaleRecord struct {
 	// baseline (graph.CCBaseline) on the identical input.
 	MapsNsPerOp int64   `json:"maps_ns_per_op,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
-	// Edges / Rounds / HeapBytes describe the smoke runs: input edges,
-	// exchange rounds executed, and the live heap right after the run.
-	Edges     int64 `json:"edges,omitempty"`
-	Rounds    int   `json:"rounds,omitempty"`
-	HeapBytes int64 `json:"heap_bytes,omitempty"`
+	// Edges / Rounds / Cost / HeapBytes describe the smoke runs: input
+	// edges, exchange rounds executed, total model cost, and the live
+	// heap right after the run.
+	Edges     int64   `json:"edges,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	HeapBytes int64   `json:"heap_bytes,omitempty"`
 }
 
 // benchScale is the BENCH_scale.json payload.
@@ -186,10 +188,15 @@ func ccScale(n int, seed uint64, stdout io.Writer) (scaleRecord, error) {
 	return rec, nil
 }
 
-// ccSmoke runs cc once, end to end with lean stats, on a graded
-// caterpillar with the given total node count and a G(n, p) input, and
-// reports wall clock, rounds, and the live heap after the run.
-func ccSmoke(name string, nodes, n int, p float64, seed uint64, stdout io.Writer) (scaleRecord, error) {
+// ccRunner is a connectivity protocol entry point (graph.CC or
+// graph.CCFast) for the smoke probes.
+type ccRunner func(*topology.Tree, graph.Placement, uint64, ...netsim.Option) (*graph.Result, error)
+
+// ccSmoke runs one connectivity protocol once, end to end with lean
+// stats, on a graded caterpillar with the given total node count and a
+// G(n, p) input, and reports wall clock, rounds, total cost, and the
+// live heap after the run.
+func ccSmoke(name string, nodes, n int, p float64, seed uint64, run ccRunner, stdout io.Writer) (scaleRecord, error) {
 	tr, err := gradedCaterpillar(nodes / 2)
 	if err != nil {
 		return scaleRecord{}, err
@@ -199,7 +206,7 @@ func ccSmoke(name string, nodes, n int, p float64, seed uint64, stdout io.Writer
 		return scaleRecord{}, err
 	}
 	start := time.Now()
-	res, err := graph.CC(tr, edges, seed, netsim.WithLeanStats())
+	res, err := run(tr, edges, seed, netsim.WithLeanStats())
 	elapsed := time.Since(start)
 	if err != nil {
 		return scaleRecord{}, err
@@ -211,10 +218,11 @@ func ccSmoke(name string, nodes, n int, p float64, seed uint64, stdout io.Writer
 		NsPerOp:   elapsed.Nanoseconds(),
 		Edges:     ne,
 		Rounds:    res.Report.NumRounds(),
+		Cost:      res.Report.TotalCost(),
 		HeapBytes: int64(ms.HeapAlloc),
 	}
-	fmt.Fprintf(stdout, "%s %d-node topology, %d verts, %d edges: %v wall, %d rounds, %d components, heap %d MB\n",
-		name, nodes, n, ne, elapsed.Round(time.Millisecond), rec.Rounds, res.Components, rec.HeapBytes>>20)
+	fmt.Fprintf(stdout, "%s %d-node topology, %d verts, %d edges: %v wall, %d rounds, cost %.0f, %d components, heap %d MB\n",
+		name, nodes, n, ne, elapsed.Round(time.Millisecond), rec.Rounds, rec.Cost, res.Components, rec.HeapBytes>>20)
 	return rec, nil
 }
 
@@ -267,15 +275,30 @@ func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) (benchScal
 	}
 	// The -scale smoke: a 10⁵-node caterpillar hosting an average-degree-4
 	// G(n, p) connectivity run.
-	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, stdout)); err != nil {
+	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, graph.CC, stdout)); err != nil {
 		return benchScale{}, err
+	}
+	// The round-count trajectory: Borůvka cc vs exponentiation cc-fast on
+	// the degree-20 G(n, p) of the acceptance benchmark, paired by scale
+	// so -compare tracks both rounds and total cost.
+	for _, n := range []int{10_000, 100_000} {
+		p := 20 / float64(n)
+		if err := add(ccSmoke("cc-rounds", n, n, p, seed, graph.CC, stdout)); err != nil {
+			return benchScale{}, err
+		}
+		if err := add(ccSmoke("cc-fast-rounds", n, n, p, seed, graph.CCFast, stdout)); err != nil {
+			return benchScale{}, err
+		}
 	}
 	if big {
 		if err := add(topoBuild(1_000_000, stdout)); err != nil {
 			return benchScale{}, err
 		}
 		// ≈10⁷ edges: p·n(n−1)/2 with n = 10⁶, p = 2·10⁻⁵.
-		if err := add(ccSmoke("cc-big", 1_000_000, 1_000_000, 2e-5, seed, stdout)); err != nil {
+		if err := add(ccSmoke("cc-big", 1_000_000, 1_000_000, 2e-5, seed, graph.CC, stdout)); err != nil {
+			return benchScale{}, err
+		}
+		if err := add(ccSmoke("cc-fast-big", 1_000_000, 1_000_000, 2e-5, seed, graph.CCFast, stdout)); err != nil {
 			return benchScale{}, err
 		}
 	}

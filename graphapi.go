@@ -53,6 +53,18 @@ func (c *Cluster) ConnectedComponents(edges [][]GraphEdge, seed uint64) (*Compon
 	})
 }
 
+// ConnectedComponentsFast labels every vertex with its component's
+// minimum vertex id using budgeted graph exponentiation: each phase
+// learns bounded multi-hop neighborhoods by doubling before hooking, so
+// low-diameter regions contract in one phase and the exchange-round
+// count drops well below the Borůvka schedule of ConnectedComponents.
+// Same inputs, verification, and result contract as ConnectedComponents.
+func (c *Cluster) ConnectedComponentsFast(edges [][]GraphEdge, seed uint64) (*ComponentsResult, error) {
+	return c.graphWith(edges, func(pl graph.Placement) (*graph.Result, error) {
+		return graph.CCFast(c.t, pl, seed, c.exec.netsimOpts()...)
+	})
+}
+
 // ConnectedComponentsBaseline runs the topology-oblivious baseline:
 // uniform vertex homes and direct update delivery, as on a flat network.
 func (c *Cluster) ConnectedComponentsBaseline(edges [][]GraphEdge, seed uint64) (*ComponentsResult, error) {

@@ -111,7 +111,9 @@ func combinerTree(t *topology.Tree, data Placement, seed uint64, copt place.Comb
 				}
 				m := state[i]
 				merged := false
-				for _, msg := range e.Inbox(v) {
+				ib := e.Inbox(v)
+				for mi := 0; mi < ib.Len(); mi++ {
+					msg := ib.At(mi)
 					if msg.Tag != tagUp {
 						continue
 					}
@@ -226,7 +228,9 @@ func CombinerTreeSingle(t *topology.Tree, data Placement, seed uint64, opts ...n
 			for g, val := range in.local[i] {
 				m[g] += val
 			}
-			for _, msg := range e.Inbox(v) {
+			ib := e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				msg := ib.At(mi)
 				if msg.Tag == tagUp {
 					decodePartials(m, msg.Keys)
 				}

@@ -82,7 +82,9 @@ func TwoLevel(t *topology.Tree, data Placement, seed uint64, opts ...netsim.Opti
 	combined := make([]map[uint64]int64, len(in.nodes))
 	for i, v := range in.nodes {
 		m := make(map[uint64]int64)
-		for _, msg := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			msg := ib.At(mi)
 			decodePartials(m, msg.Keys)
 		}
 		combined[i] = m
@@ -163,7 +165,9 @@ func collect(e *netsim.Engine, in *instance, strategy string) *Result {
 	}
 	for i, v := range in.nodes {
 		m := make(map[uint64]int64)
-		for _, msg := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			msg := ib.At(mi)
 			decodePartials(m, msg.Keys)
 		}
 		res.PerNode[i] = m

@@ -70,7 +70,9 @@ func distribute(in *instance, rects []Rect, strategy string) (*Result, error) {
 		Strategy: strategy,
 	}
 	for i, v := range in.nodes {
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			switch m.Tag {
 			case netsim.TagR:
 				res.RKeys[i] = append(res.RKeys[i], m.Keys...)

@@ -50,8 +50,7 @@ func SpanningForest(t *topology.Tree, edges Placement, seed uint64, opts ...nets
 // being cleared, batching groups by destination home with counting buckets
 // instead of hash maps or packed sorts, scratch lists sort with an LSD
 // radix that skips constant byte lanes, and outgoing payloads are carved
-// from per-node double-buffered arenas so steady-state phases allocate
-// almost nothing. The serial relabel walk additionally pre-combines the
+// from per-node arenas so steady-state phases allocate almost nothing. The serial relabel walk additionally pre-combines the
 // next phase's proposal minima and pre-dedups its lookup needs with
 // stamped arrays, so the per-round planning callbacks only sort lists that
 // are already distinct.
@@ -295,9 +294,10 @@ type nodeScratch struct {
 	ptmp     []propPair     // emit grouping: home-radix scratch (witness)
 }
 
-// payloadSlab is one node's outgoing-payload arena for one round parity.
-// grab carves a fixed-size chunk; growth abandons the old block, which
-// stays alive exactly as long as the messages that reference it.
+// payloadSlab is one node's outgoing-payload arena, reset every round.
+// grab carves a fixed-size chunk; the engine copies payloads into the
+// receiver inboxes during ExecuteAsync, so chunks are dead by the time
+// the next round resets the slab.
 type payloadSlab struct{ buf []uint64 }
 
 func (pa *payloadSlab) grab(n int) []uint64 {
@@ -328,11 +328,19 @@ type proto struct {
 	nodes   []topology.NodeID
 	nodeIdx []int32 // NodeID -> compute index
 	steps   []place.UpStep
+	weights []float64
+	hier    *place.Hierarchy
 	witness bool
 
 	ids     []uint64 // sorted distinct vertex ids; position = index
 	idToIdx []int32  // direct id -> index table when ids are dense
 	homeOf  []int32  // vertex index -> home compute index
+
+	// fs holds the cc-fast expansion state (nil on the Borůvka path). fast
+	// phases skip the relabel-time proposal pre-combining: the next phase
+	// rebuilds known-sets from a fresh adjacency round instead.
+	fast bool
+	fs   *fastState
 
 	active [][]workEdge // contracted edges held locally
 
@@ -378,21 +386,18 @@ type proto struct {
 
 	forest [][]Edge // witness edges per home (witness mode)
 
-	scr    []nodeScratch
-	arenas [2][]payloadSlab
-	turn   int
+	scr   []nodeScratch
+	arena []payloadSlab
 }
 
 // round executes one planned exchange with fn planning each compute node's
 // sends. Accounting of the previous round overlaps the planning (the
-// engine pipelines behind ExecuteAsync), and the payload arenas alternate
-// so a chunk sent in round r is only reused in round r+2, after its inbox
-// has been retired.
+// engine pipelines behind ExecuteAsync); accounting only reads payload
+// lengths and the engine copies payloads into the receiver inboxes during
+// ExecuteAsync, so one arena per node suffices and each round reuses it.
 func (pr *proto) round(fn func(i int, out *netsim.Outbox)) {
-	pr.turn ^= 1
-	slabs := pr.arenas[pr.turn]
-	for i := range slabs {
-		slabs[i].buf = slabs[i].buf[:0]
+	for i := range pr.arena {
+		pr.arena[i].buf = pr.arena[i].buf[:0]
 	}
 	x := pr.e.Exchange()
 	x.Plan(func(v topology.NodeID, out *netsim.Outbox) {
@@ -401,7 +406,7 @@ func (pr *proto) round(fn func(i int, out *netsim.Outbox)) {
 	x.ExecuteAsync()
 }
 
-func (pr *proto) slab(i int) *payloadSlab { return &pr.arenas[pr.turn][i] }
+func (pr *proto) slab(i int) *payloadSlab { return &pr.arena[i] }
 
 // idxOf resolves an original vertex id to its dense index.
 func (pr *proto) idxOf(x uint64) int32 {
@@ -475,7 +480,9 @@ func (pr *proto) register() {
 			}
 			nd := pr.scr[i].need
 			grew := false
-			for _, msg := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				msg := ib.At(mi)
 				if msg.Tag != tagVertexUp {
 					continue
 				}
@@ -498,7 +505,9 @@ func (pr *proto) register() {
 		pr.emitIndexGroups(i, out, tagVertex, pr.scr[i].need)
 	})
 	for i, v := range pr.nodes {
-		for _, m := range pr.e.Inbox(v) {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tagVertex {
 				continue
 			}
@@ -685,7 +694,9 @@ func (pr *proto) propose() {
 			grew := false
 			if pr.witness {
 				prs := pr.scr[i].pairs
-				for _, m := range pr.e.Inbox(v) {
+				ib := pr.e.Inbox(v)
+				for mi := 0; mi < ib.Len(); mi++ {
+					m := ib.At(mi)
 					if m.Tag == tagProposeUp {
 						grew = true
 						for k := 0; k+4 <= len(m.Keys); k += 4 {
@@ -703,7 +714,9 @@ func (pr *proto) propose() {
 				pr.scr[i].pairs = prs
 			} else {
 				ks := pr.scr[i].k1s
-				for _, m := range pr.e.Inbox(v) {
+				ib := pr.e.Inbox(v)
+				for mi := 0; mi < ib.Len(); mi++ {
+					m := ib.At(mi)
 					if m.Tag == tagProposeUp {
 						grew = true
 						for k := 0; k+2 <= len(m.Keys); k += 2 {
@@ -727,7 +740,9 @@ func (pr *proto) propose() {
 		pr.emitProposals(i, out)
 	})
 	for _, v := range pr.nodes {
-		for _, m := range pr.e.Inbox(v) {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tagPropose {
 				continue
 			}
@@ -853,7 +868,9 @@ func (pr *proto) jump(unresolved int) error {
 		// Replies: root when the target is resolved, one pointer step
 		// otherwise.
 		pr.round(func(j int, out *netsim.Outbox) {
-			for _, m := range pr.e.Inbox(pr.nodes[j]) {
+			ib := pr.e.Inbox(pr.nodes[j])
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				if m.Tag != tagJumpQ {
 					continue
 				}
@@ -895,7 +912,9 @@ func (pr *proto) jump(unresolved int) error {
 		pr.jstamp++
 		st := pr.jstamp
 		for _, v := range pr.nodes {
-			for _, m := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				switch m.Tag {
 				case tagJumpRoot:
 					for k := 0; k+1 < len(m.Keys); k += 2 {
@@ -1005,7 +1024,9 @@ func (pr *proto) lookups() {
 			}
 			nd := pr.scr[i].nextNeed
 			grew := false
-			for _, msg := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				msg := ib.At(mi)
 				if msg.Tag != tagLookupUp {
 					continue
 				}
@@ -1067,7 +1088,9 @@ func (pr *proto) lookups() {
 // label with its resolved root.
 func (pr *proto) replyLookups() {
 	pr.round(func(j int, out *netsim.Outbox) {
-		for _, m := range pr.e.Inbox(pr.nodes[j]) {
+		ib := pr.e.Inbox(pr.nodes[j])
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tagLookupQ {
 				continue
 			}
@@ -1125,7 +1148,9 @@ func (pr *proto) relabel() error {
 			}
 		}
 		pr.aliveList[i] = keep
-		pr.collectNext(i)
+		if !pr.fast {
+			pr.collectNext(i)
+		}
 	}
 	return nil
 }
@@ -1138,7 +1163,10 @@ func (pr *proto) totalActive() int {
 	return n
 }
 
-func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, opts []netsim.Option) (*Result, error) {
+// newProto builds the shared contraction state — renumbering pass, homes,
+// combining schedule, flat home arrays — used by both the Borůvka driver
+// (run) and the graph-exponentiation driver (runFast).
+func newProto(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, opts []netsim.Option) (*proto, error) {
 	if err := checkPlacement(tr, edges); err != nil {
 		return nil, err
 	}
@@ -1163,15 +1191,11 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		return nil, err
 	}
 
-	strategy := "flat"
 	var steps []place.UpStep
 	var hier *place.Hierarchy
 	if aware {
-		strategy = "aware"
 		if hier = place.HierarchyFor(tr); hier != nil {
-			if steps = hier.UpSweep(weights); len(steps) > 0 {
-				strategy = fmt.Sprintf("aware+combine×%d", len(steps))
-			}
+			steps = hier.UpSweep(weights)
 		}
 	}
 
@@ -1215,6 +1239,8 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		nodes:      nodes,
 		nodeIdx:    nodeIdx,
 		steps:      steps,
+		weights:    weights,
+		hier:       hier,
 		witness:    witness,
 		ids:        ids,
 		idToIdx:    idToIdx,
@@ -1240,8 +1266,7 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		hooked:     make([][]int32, p),
 		scr:        make([]nodeScratch, p),
 	}
-	pr.arenas[0] = make([]payloadSlab, p)
-	pr.arenas[1] = make([]payloadSlab, p)
+	pr.arena = make([]payloadSlab, p)
 	if witness {
 		pr.forest = make([][]Edge, p)
 	}
@@ -1256,6 +1281,48 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 			}
 		}
 		pr.scr[i].need = nd
+	}
+	return pr, nil
+}
+
+// assemble packages the converged contraction state into a Result.
+func (pr *proto) assemble(phases int, strategy string) *Result {
+	res := &Result{
+		PerNode:  make([]map[uint64]uint64, len(pr.nodes)),
+		Phases:   phases,
+		Strategy: strategy,
+	}
+	for i := range pr.nodes {
+		m := make(map[uint64]uint64, len(pr.homedVerts[i]))
+		for _, v := range pr.homedVerts[i] {
+			m[pr.ids[v]] = pr.ids[pr.label[v]]
+		}
+		res.PerNode[i] = m
+		res.Components += int64(len(pr.aliveList[i]))
+		// The homes partition the vertices, so summing the per-home
+		// fingerprints equals Checksum over the merged labeling.
+		res.Checksum += Checksum(m)
+	}
+	if pr.witness {
+		for i := range pr.nodes {
+			res.Forest = append(res.Forest, pr.forest[i]...)
+		}
+	}
+	res.Report = pr.e.Report()
+	return res
+}
+
+func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, opts []netsim.Option) (*Result, error) {
+	pr, err := newProto(tr, edges, seed, aware, witness, opts)
+	if err != nil {
+		return nil, err
+	}
+	strategy := "flat"
+	if aware {
+		strategy = "aware"
+		if len(pr.steps) > 0 {
+			strategy = fmt.Sprintf("aware+combine×%d", len(pr.steps))
+		}
 	}
 
 	pr.register()
@@ -1274,7 +1341,7 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 	var phaseTid int64
 	if tc != nil {
 		phaseTid = tc.NewTid("graph cc phases")
-		hier.TraceCombine(tc, weights, place.CombineOptions{})
+		pr.hier.TraceCombine(tc, pr.weights, place.CombineOptions{})
 	}
 	mPhases := mx.Counter("graph.cc.phases")
 	mActive := mx.Histogram("graph.cc.active_edges")
@@ -1309,27 +1376,5 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 		}
 	}
 
-	res := &Result{
-		PerNode:  make([]map[uint64]uint64, p),
-		Phases:   phases,
-		Strategy: strategy,
-	}
-	for i := range nodes {
-		m := make(map[uint64]uint64, len(pr.homedVerts[i]))
-		for _, v := range pr.homedVerts[i] {
-			m[pr.ids[v]] = pr.ids[pr.label[v]]
-		}
-		res.PerNode[i] = m
-		res.Components += int64(len(pr.aliveList[i]))
-		// The homes partition the vertices, so summing the per-home
-		// fingerprints equals Checksum over the merged labeling.
-		res.Checksum += Checksum(m)
-	}
-	if witness {
-		for i := range nodes {
-			res.Forest = append(res.Forest, pr.forest[i]...)
-		}
-	}
-	res.Report = pr.e.Report()
-	return res, nil
+	return pr.assemble(phases, strategy), nil
 }

@@ -122,7 +122,9 @@ func (pr *mapProto) register(verts []map[uint64]bool) {
 			// Carriers keep their set and union in what arrived. verts is
 			// owned by run and not reused, so merging in place is safe.
 			m := send[i]
-			for _, msg := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				msg := ib.At(mi)
 				if msg.Tag != tagVertexUp {
 					continue
 				}
@@ -143,7 +145,9 @@ func (pr *mapProto) register(verts []map[uint64]bool) {
 		pr.sendByHome(out, tagVertex, groups)
 	})
 	for i, v := range pr.nodes {
-		for _, m := range pr.e.Inbox(v) {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tagVertex {
 				continue
 			}
@@ -218,7 +222,9 @@ func (pr *mapProto) propose() {
 				continue
 			}
 			merged[i] = local[i] // scratch maps; min-merge in place
-			for _, m := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				if m.Tag == tagProposeUp {
 					decodePropsInto(merged[i], m.Keys, pr.witness)
 				}
@@ -240,7 +246,9 @@ func (pr *mapProto) propose() {
 	})
 	for i, v := range pr.nodes {
 		pr.best[i] = make(map[uint64]prop)
-		for _, m := range pr.e.Inbox(v) {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == tagPropose {
 				decodePropsInto(pr.best[i], m.Keys, pr.witness)
 			}
@@ -300,7 +308,9 @@ func (pr *mapProto) jump(unresolved int) error {
 		// Replies: root when the target is resolved, one pointer step
 		// otherwise.
 		pr.round(func(j int, out *netsim.Outbox) {
-			for _, m := range pr.e.Inbox(pr.nodes[j]) {
+			ib := pr.e.Inbox(pr.nodes[j])
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				if m.Tag != tagJumpQ {
 					continue
 				}
@@ -322,7 +332,9 @@ func (pr *mapProto) jump(unresolved int) error {
 		})
 		unresolved = 0
 		for i, v := range pr.nodes {
-			for _, m := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				switch m.Tag {
 				case tagJumpRoot:
 					for k := 0; k+1 < len(m.Keys); k += 2 {
@@ -409,11 +421,16 @@ func (pr *mapProto) lookups() []map[uint64]uint64 {
 				continue
 			}
 			m := carry[i]
-			for _, msg := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				msg := ib.At(mi)
 				if msg.Tag != tagLookupUp {
 					continue
 				}
-				perStep[s][i] = append(perStep[s][i], memberNeed{from: msg.From, labels: msg.Keys})
+				// The down-sweep reads these labels rounds later, after the
+				// inbox pool behind msg.Keys has been recycled — copy them.
+				asked := append([]uint64(nil), msg.Keys...)
+				perStep[s][i] = append(perStep[s][i], memberNeed{from: msg.From, labels: asked})
 				for _, a := range msg.Keys {
 					m[a] = true
 				}
@@ -452,7 +469,9 @@ func (pr *mapProto) lookups() []map[uint64]uint64 {
 			}
 		})
 		for i, v := range pr.nodes {
-			for _, m := range pr.e.Inbox(v) {
+			ib := pr.e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				if m.Tag != tagLookupDown {
 					continue
 				}
@@ -469,7 +488,9 @@ func (pr *mapProto) lookups() []map[uint64]uint64 {
 // label with its resolved root.
 func (pr *mapProto) replyLookups() {
 	pr.round(func(j int, out *netsim.Outbox) {
-		for _, m := range pr.e.Inbox(pr.nodes[j]) {
+		ib := pr.e.Inbox(pr.nodes[j])
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tagLookupQ {
 				continue
 			}
@@ -490,7 +511,9 @@ func (pr *mapProto) collectRoots(tag netsim.Tag) []map[uint64]uint64 {
 	rmap := make([]map[uint64]uint64, len(pr.nodes))
 	for i, v := range pr.nodes {
 		rmap[i] = make(map[uint64]uint64)
-		for _, m := range pr.e.Inbox(v) {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag != tag {
 				continue
 			}

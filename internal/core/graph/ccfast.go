@@ -1,0 +1,800 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"topompc/internal/core/place"
+	"topompc/internal/hashing"
+	"topompc/internal/netsim"
+	"topompc/internal/obs"
+	"topompc/internal/topology"
+)
+
+// cc-fast: log-diameter connectivity by budgeted graph exponentiation.
+//
+// Borůvka's contraction (cc.go) pays a full phase — propose, hook, jump,
+// lookups, relabel — to halve the label count, so round count grows with
+// log(n) times the per-phase round cost, and every round crosses the
+// topology's weakest cuts again. The MPC literature (Andoni et al.,
+// FOCS 2018; Behnezhad et al., FOCS 2019) cuts the phase count with
+// neighborhood exponentiation: vertices learn their 2^k-hop neighborhood
+// by doubling, so one phase contracts entire low-diameter regions at once.
+//
+// This file is the topology-aware, budgeted variant layered on the same
+// int-indexed contraction machinery:
+//
+//   - One fused adjacency round replaces cc's register + propose pair:
+//     holders ship each distinct directed endpoint pair (a, b) — packed
+//     two indices per word — to a's home, which registers a and seeds its
+//     known-set with the b smallest neighbor labels.
+//   - Doubling rounds then exponentiate: every alive label pushes its
+//     known-set to the homes of the set's members, which fold the arrivals
+//     into their own sets, again keeping only the b smallest. After k
+//     rounds a label's set samples its ≤2^k-hop neighborhood, biased
+//     toward small labels — exactly the labels worth hooking onto.
+//     Truncation to b never breaks correctness: the contraction below
+//     works from the untruncated edges at the holders; a lossy known-set
+//     only means less contraction this phase.
+//   - Budgets bound the traffic: each vertex sends at most b known labels
+//     to at most b targets, non-minimum targets are sampled by a leader
+//     hash so dense clusters funnel their sets through a few leaders, and
+//     the driver stops doubling the moment a step's planned volume would
+//     exceed the phase budget or a step stops changing any set — the
+//     Andoni-style truncated-exponentiation guard. With zero doubling
+//     rounds the phase degrades to exactly a Borůvka phase: the known-set
+//     of the adjacency round alone is the min-neighbor proposal.
+//   - Hook, pointer-jump, root lookups (with the place.Hierarchy per-block
+//     combining when the pays-off test holds), and relabel are reused from
+//     cc.go unchanged — the known-set minimum feeds the same best-proposal
+//     arrays the Borůvka path fills from propose messages.
+//
+// The result is byte-comparable to CC's: canonical minimum labels, same
+// Result shape, verified against the union-find reference.
+
+// FastTuning are the exponentiation budgets of CCFast. The zero value of
+// any field falls back to its default.
+type FastTuning struct {
+	// Budget is b, the per-label known-set capacity and per-round fanout
+	// bound: a label keeps the b smallest labels it has seen and sends at
+	// most b·b keys per doubling round.
+	Budget int
+	// MaxDoubling caps the doubling rounds of one phase.
+	MaxDoubling int
+	// VolumeFactor scales the per-phase doubling budget: a doubling round
+	// may plan at most VolumeFactor × (2·active edges + alive labels)
+	// keys, else the phase falls back to hooking with what it knows.
+	VolumeFactor int
+	// LeaderFrac samples non-minimum push targets: a member is a leader
+	// with probability 1/LeaderFrac (rounded to a power of two); the set
+	// minimum is always pushed to. 1 pushes to every member.
+	LeaderFrac int
+	// Combine swaps the single-round subscription push of the phase roots
+	// for cc's query/reply lookups with the place.Hierarchy per-block
+	// combining sweeps. It trades rounds for cheaper weak-cut crossings:
+	// each engaged level adds an up- and a down-sweep round per phase.
+	Combine bool
+}
+
+// DefaultFastTuning is the tuning CCFast runs with, the measured optimum
+// of the scale sweep: b=8 balances known-set reach against push volume,
+// three doubling rounds suffice for one-phase convergence on G(n,p) up
+// to 10⁶ vertices (more rounds only add cost once the sets stabilize),
+// and pushing to every member (LeaderFrac 1) beats leader sampling —
+// the downhill filter already bounds the fanout.
+func DefaultFastTuning() FastTuning {
+	return FastTuning{Budget: 8, MaxDoubling: 3, VolumeFactor: 8, LeaderFrac: 1}
+}
+
+func (ft FastTuning) withDefaults() FastTuning {
+	def := DefaultFastTuning()
+	if ft.Budget <= 0 {
+		ft.Budget = def.Budget
+	}
+	if ft.MaxDoubling <= 0 {
+		ft.MaxDoubling = def.MaxDoubling
+	}
+	if ft.VolumeFactor <= 0 {
+		ft.VolumeFactor = def.VolumeFactor
+	}
+	if ft.LeaderFrac <= 0 {
+		ft.LeaderFrac = def.LeaderFrac
+	}
+	return ft
+}
+
+// CCFast computes connected components with budgeted graph exponentiation
+// on capacity-weighted homes. Same inputs and Result contract as CC.
+func CCFast(t *topology.Tree, edges Placement, seed uint64, opts ...netsim.Option) (*Result, error) {
+	return runFast(t, edges, seed, DefaultFastTuning(), opts)
+}
+
+// CCFastTuned is CCFast with explicit exponentiation budgets, for
+// experiments and adversarial tests.
+func CCFastTuned(t *topology.Tree, edges Placement, seed uint64, tune FastTuning, opts ...netsim.Option) (*Result, error) {
+	return runFast(t, edges, seed, tune, opts)
+}
+
+// fastState is the exponentiation state bolted onto proto. Known-sets
+// live in one flat phase-stamped arena: label a's set is the ascending
+// slice knowBuf[a·b : a·b+knowLen[a]], valid when knowAt[a] equals the
+// phase — no clearing between phases, matching the stamped best/parent
+// arrays of the Borůvka path.
+type fastState struct {
+	tune     FastTuning
+	b        int32
+	leadMask uint64 // hash mask for leader sampling (leadFrac-1)
+	seed     uint64
+
+	knowBuf []int32
+	knowLen []int32
+	knowAt  []int32
+	leader  []bool // per label: sampled as a push target beyond the min
+
+	// dblStamp counts knowledge rounds (adjacency + doubling) across the
+	// run; changedAt[a] is the stamp of the last round that changed a's
+	// set. A label whose set did not change since its last push would send
+	// the identical payload to the identical targets, so it stays silent —
+	// the skip is lossless and lets stabilized regions go quiet.
+	dblStamp  int32
+	changedAt []int32
+
+	// newAt stamps each known-set slot with the round its entry arrived,
+	// maintained in lockstep with knowBuf: pushes send the full set to
+	// targets that just entered the set and only the fresh arrivals to
+	// targets that already held their copy — every (item, target) pair
+	// still crosses the wire exactly once per phase.
+	newAt []int32
+
+	// evictBuf records, per label, the members evicted from its set in the
+	// last receipt round (up to b, stamped by evictAt). The labels that
+	// displace a member are exactly the smaller labels it still needs to
+	// hook past its own value, and they arrive in the round the member
+	// leaves the target list — so the next push says goodbye: evicted
+	// members receive the arrivals that displaced them, once. Without this
+	// the smallest vertices of a region starve the moment their neighbors
+	// learn smaller labels, survive as false local minima, and force an
+	// extra contraction phase.
+	evictBuf []int32
+	evictLen []int32
+	evictAt  []int32
+
+	// subs records, per home, who asked about each label this phase: every
+	// adjacency message subscribes its sender to the labels it mentioned,
+	// packed sender-compute-index<<32|label. After pointer jumping, homes
+	// push each subscribed label's root straight back — no query round.
+	subs [][]uint64
+
+	volBudget int64 // per-doubling-round planned-key budget, set per phase
+
+	// Per-phase telemetry for the obs span and counters.
+	dblRounds int // doubling rounds this phase
+	changed   int // set insertions in the last doubling round
+	fellBack  bool
+}
+
+// knowSpan returns label a's current-phase known-set (ascending).
+func (fs *fastState) knowSpan(a int32, phase int32) []int32 {
+	if fs.knowAt[a] != phase {
+		return nil
+	}
+	base := int(a) * int(fs.b)
+	return fs.knowBuf[base : base+int(fs.knowLen[a])]
+}
+
+// knowInsert folds label x into a's known-set, keeping the b smallest.
+// Reports whether the set changed.
+func (fs *fastState) knowInsert(a, x int32, phase int32) bool {
+	if x == a {
+		return false
+	}
+	if fs.knowAt[a] != phase {
+		fs.knowAt[a] = phase
+		fs.knowLen[a] = 0
+	}
+	n := fs.knowLen[a]
+	base := int(a) * int(fs.b)
+	s := fs.knowBuf[base : base+int(n)]
+	st := fs.newAt[base : base+int(n)]
+	// Sets are tiny (≤ b); scan from the top, which is also the common
+	// reject path once a set is full of smaller labels.
+	j := int(n)
+	for j > 0 && s[j-1] > x {
+		j--
+	}
+	if j > 0 && s[j-1] == x {
+		return false
+	}
+	if n == fs.b {
+		if j == int(n) {
+			return false // larger than everything kept
+		}
+		if fs.evictAt[a] != fs.dblStamp {
+			fs.evictAt[a] = fs.dblStamp
+			fs.evictLen[a] = 0
+		}
+		if l := fs.evictLen[a]; l < fs.b {
+			fs.evictBuf[base+int(l)] = s[n-1]
+			fs.evictLen[a] = l + 1
+		}
+		copy(s[j+1:], s[j:n-1])
+		copy(st[j+1:], st[j:n-1])
+		s[j] = x
+		st[j] = fs.dblStamp
+		fs.changedAt[a] = fs.dblStamp
+		return true
+	}
+	s = fs.knowBuf[base : base+int(n)+1]
+	st = fs.newAt[base : base+int(n)+1]
+	copy(s[j+1:], s[j:n])
+	copy(st[j+1:], st[j:n])
+	s[j] = x
+	st[j] = fs.dblStamp
+	fs.knowLen[a] = n + 1
+	fs.changedAt[a] = fs.dblStamp
+	return true
+}
+
+// isLeader samples push targets: the hash is over the stable label index,
+// so a label's leader role is fixed for the whole run.
+func (fs *fastState) isLeader(a int32) bool {
+	return fs.leadMask == 0 || hashing.Mix64(fs.seed^uint64(uint32(a)))&fs.leadMask == 0
+}
+
+// adjacency is the fused registration + seeding round of one phase: every
+// holder ships its distinct directed active-edge pairs (plus self-pairs:
+// in phase 1 one per local vertex so isolated vertices register, in later
+// phases one per homed vertex label so its home keeps a subscriber) to the
+// first endpoint's home, packed one pair per key. Homes register unseen
+// labels, seed their known-sets, and record every (label, sender) pair as
+// a subscription — the senders are exactly the nodes that will read that
+// label's phase root at relabel time, so pushRoots can answer them without
+// a query round.
+func (pr *proto) adjacency() {
+	fs := pr.fs
+	first := pr.phase == 1
+	for i := range fs.subs {
+		fs.subs[i] = fs.subs[i][:0]
+	}
+	pr.round(func(i int, out *netsim.Outbox) {
+		sc := &pr.scr[i]
+		ks := sc.k1s[:0]
+		if !first {
+			// Duplicate labels collapse in the sort+compact below.
+			for _, v := range pr.homedVerts[i] {
+				r := pr.label[v]
+				ks = append(ks, uint64(uint32(r))<<32|uint64(uint32(r)))
+			}
+		}
+		for _, ed := range pr.active[i] {
+			ks = append(ks,
+				uint64(uint32(ed.a))<<32|uint64(uint32(ed.b)),
+				uint64(uint32(ed.b))<<32|uint64(uint32(ed.a)))
+		}
+		ks, sc.k1tmp = radixSortUint64(ks, sc.k1tmp)
+		ks = compactUint64(ks)
+		if first {
+			// Self-pairs register only the local vertices no active pair
+			// already mentions (self-loop-only vertices); for everyone
+			// else the edge pair both registers and subscribes.
+			n := len(ks)
+			for _, x := range sc.need {
+				hi := uint64(uint32(x)) << 32
+				j, ok := slices.BinarySearch(ks[:n], hi)
+				if !ok && (j == n || ks[j]>>32 != uint64(uint32(x))) {
+					ks = append(ks, hi|uint64(uint32(x)))
+				}
+			}
+		}
+		sc.k1s = ks
+		pr.emitPacked(i, out, tagAdj, ks)
+	})
+	for i, v := range pr.nodes {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
+			if m.Tag != tagAdj {
+				continue
+			}
+			si := uint64(uint32(pr.nodeIdx[m.From])) << 32
+			lastA := int32(-1)
+			for _, k := range m.Keys {
+				a, b := int32(k>>32), int32(uint32(k))
+				if a != lastA {
+					// Keys within a message are ascending, so one
+					// subscription per distinct label per sender.
+					fs.subs[i] = append(fs.subs[i], si|uint64(uint32(a)))
+					lastA = a
+				}
+				if first && !pr.registered[a] {
+					pr.registered[a] = true
+					pr.label[a] = a
+					pr.homedVerts[i] = append(pr.homedVerts[i], a)
+					pr.aliveList[i] = append(pr.aliveList[i], a)
+					if fs.isLeader(a) {
+						fs.leader[a] = true
+					}
+				}
+				if b != a {
+					fs.knowInsert(a, b, pr.phase)
+				}
+			}
+		}
+	}
+	if first {
+		for i := range pr.nodes {
+			pr.homedVerts[i], pr.scr[i].ndtmp = radixSortInt32(pr.homedVerts[i], pr.scr[i].ndtmp)
+			pr.aliveList[i], pr.scr[i].ndtmp = radixSortInt32(pr.aliveList[i], pr.scr[i].ndtmp)
+		}
+	}
+}
+
+// planVolume totals the keys the next doubling round would send, exactly
+// mirroring double()'s send rule.
+func (pr *proto) planVolume() int64 {
+	fs := pr.fs
+	cur := fs.dblStamp
+	var vol int64
+	for i := range pr.nodes {
+		for _, a := range pr.aliveList[i] {
+			if fs.changedAt[a] != cur {
+				continue
+			}
+			s := fs.knowSpan(a, pr.phase)
+			base := int(a) * int(fs.b)
+			st := fs.newAt[base : base+len(s)]
+			for rank, u := range s {
+				if rank > 0 && !fs.leader[u] {
+					continue
+				}
+				if st[rank] == cur {
+					items := rank
+					if a < u {
+						items++
+					}
+					vol += int64(items)
+					continue
+				}
+				for _, xs := range st[:rank] {
+					if xs == cur {
+						vol++
+					}
+				}
+			}
+			if fs.evictAt[a] == cur {
+				gx := int32(-1)
+				for r2, x := range s {
+					if st[r2] == cur {
+						gx = x
+						break
+					}
+				}
+				for _, u := range fs.evictBuf[base : base+int(fs.evictLen[a])] {
+					if u < a && gx >= 0 && gx < u {
+						vol++
+					}
+				}
+			}
+		}
+	}
+	return vol
+}
+
+// double runs one exponentiation round: each alive label whose set changed
+// last round pushes the set's smaller half to the homes of the set minimum
+// and of every sampled leader in the set — to target u go the members
+// below u, plus the sender itself when it is below u. Two lossless filters
+// keep the volume near the information delta: labels a receiver would
+// discard anyway (everything above it beyond its own set) stay off the
+// wire — hooking only ever chases smaller labels, so pushing downhill
+// loses nothing, and the set minimum still floods the whole basin through
+// the members above it — and a target that already held its copy of the
+// set receives only the entries that arrived since the last push (a target
+// that just entered the set gets the full downhill slice once). Returns
+// the number of set insertions.
+func (pr *proto) double() int {
+	fs := pr.fs
+	cur := fs.dblStamp
+	pr.round(func(i int, out *netsim.Outbox) {
+		sc := &pr.scr[i]
+		ks := sc.k1s[:0]
+		for _, a := range pr.aliveList[i] {
+			if fs.changedAt[a] != cur {
+				continue
+			}
+			s := fs.knowSpan(a, pr.phase)
+			base := int(a) * int(fs.b)
+			st := fs.newAt[base : base+len(s)]
+			for rank, u := range s {
+				if rank > 0 && !fs.leader[u] {
+					continue
+				}
+				uNew := st[rank] == cur
+				hi := uint64(uint32(u)) << 32
+				if uNew && a < u {
+					ks = append(ks, hi|uint64(uint32(a)))
+				}
+				for r2, x := range s[:rank] {
+					if uNew || st[r2] == cur {
+						ks = append(ks, hi|uint64(uint32(x)))
+					}
+				}
+			}
+			if fs.evictAt[a] == cur {
+				// One key per goodbye: the smallest arrival of the
+				// displacing round is below every member it displaced,
+				// and one smaller label is all an evictee needs to hook
+				// past its own value.
+				gx := int32(-1)
+				for r2, x := range s {
+					if st[r2] == cur {
+						gx = x
+						break
+					}
+				}
+				for _, u := range fs.evictBuf[base : base+int(fs.evictLen[a])] {
+					// A member above the sender met the sender's own label at
+					// entry, so only evictees below it can be starved.
+					if u < a && gx >= 0 && gx < u {
+						ks = append(ks, uint64(uint32(u))<<32|uint64(uint32(gx)))
+					}
+				}
+			}
+		}
+		sc.k1s = ks
+		pr.emitPacked(i, out, tagKnow, ks)
+	})
+	fs.dblStamp++
+	changed := 0
+	for _, v := range pr.nodes {
+		ib := pr.e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
+			if m.Tag != tagKnow {
+				continue
+			}
+			for _, k := range m.Keys {
+				if fs.knowInsert(int32(k>>32), int32(uint32(k)), pr.phase) {
+					changed++
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// emitPacked groups packed (hi-label routed) keys by the home of the high
+// half and sends one arena-backed message per nonempty home. The stable
+// home radix preserves the caller's key order on the wire.
+func (pr *proto) emitPacked(i int, out *netsim.Outbox, tag netsim.Tag, ks []uint64) {
+	if len(ks) == 0 {
+		return
+	}
+	sc := &pr.scr[i]
+	sortByHome(ks, &sc.k1tmp, func(k uint64) int32 { return pr.homeOf[int32(k>>32)] }, len(pr.nodes))
+	for s := 0; s < len(ks); {
+		h := pr.homeOf[int32(ks[s]>>32)]
+		e := s + 1
+		for e < len(ks) && pr.homeOf[int32(ks[e]>>32)] == h {
+			e++
+		}
+		batch := pr.slab(i).grab(e - s)
+		copy(batch, ks[s:e])
+		out.Send(pr.nodes[h], tag, batch)
+		s = e
+	}
+}
+
+// compactUint64 dedups a sorted key slice in place.
+func compactUint64(ks []uint64) []uint64 {
+	out := ks[:0]
+	for i, k := range ks {
+		if i == 0 || k != ks[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// proposeFromKnow converts every known-set minimum into the best-proposal
+// arrays that hook() consumes: with zero doubling rounds this is exactly
+// the Borůvka min-neighbor proposal.
+func (pr *proto) proposeFromKnow() {
+	fs := pr.fs
+	for i := range pr.nodes {
+		for _, a := range pr.aliveList[i] {
+			if s := fs.knowSpan(a, pr.phase); len(s) > 0 {
+				pr.bestAt[a] = pr.phase
+				pr.bestB[a] = s[0]
+				pr.bestW[a] = 0
+			}
+		}
+	}
+}
+
+// pushRoots closes the phase in a single round: every home pushes each
+// subscribed label's phase root, packed label<<32|root, back to the node
+// that mentioned the label in this phase's adjacency round. Adjacency
+// senders are exactly the relabel readers, so the subscriptions replace
+// the query/reply pair of lookups() with one reply-sized round. As with
+// cc's lookups, the receipt needs no processing — relabel reads the
+// rootAt/rootVal arrays the wire answers mirror.
+//
+// Under Combine the phase instead runs cc's query/reply lookups with the
+// place.Hierarchy per-block sweeps (collectNeedsFast feeds them), trading
+// two extra rounds per engaged level for deduplicated weak-cut crossings.
+func (pr *proto) pushRoots() {
+	fs := pr.fs
+	pr.round(func(i int, out *netsim.Outbox) {
+		subs := fs.subs[i]
+		if len(subs) == 0 {
+			return
+		}
+		// Stable-sort by subscriber to batch one message per destination;
+		// labels stay ascending within each subscriber's run.
+		sortByHome(subs, &pr.scr[i].k1tmp, func(k uint64) int32 { return int32(k >> 32) }, len(pr.nodes))
+		for s := 0; s < len(subs); {
+			d := int32(subs[s] >> 32)
+			e := s + 1
+			for e < len(subs) && int32(subs[e]>>32) == d {
+				e++
+			}
+			batch := pr.slab(i).grab(e - s)
+			for k := s; k < e; k++ {
+				a := int32(uint32(subs[k]))
+				batch[k-s] = uint64(uint32(a))<<32 | uint64(uint32(pr.rootVal[a]))
+			}
+			out.Send(pr.nodes[d], tagKnow, batch)
+			s = e
+		}
+	})
+}
+
+// collectNeedsFast gathers node i's distinct lookup needs — active edge
+// endpoint labels plus homed vertex labels — for the Combine lookup path,
+// without the proposal pre-combining of collectNext (fast phases rebuild
+// known-sets from a fresh adjacency round instead).
+func (pr *proto) collectNeedsFast(i int) {
+	sc := &pr.scr[i]
+	pr.dstamp++
+	nst := pr.dstamp
+	nd := sc.nextNeed[:0]
+	for _, ed := range pr.active[i] {
+		if pr.seenAt[ed.a] != nst {
+			pr.seenAt[ed.a] = nst
+			nd = append(nd, ed.a)
+		}
+		if pr.seenAt[ed.b] != nst {
+			pr.seenAt[ed.b] = nst
+			nd = append(nd, ed.b)
+		}
+	}
+	for _, v := range pr.homedVerts[i] {
+		if r := pr.label[v]; pr.seenAt[r] != nst {
+			pr.seenAt[r] = nst
+			nd = append(nd, r)
+		}
+	}
+	sc.nextNeed = nd
+}
+
+func (pr *proto) totalAlive() int {
+	n := 0
+	for i := range pr.aliveList {
+		n += len(pr.aliveList[i])
+	}
+	return n
+}
+
+func runFast(tr *topology.Tree, edges Placement, seed uint64, tune FastTuning, opts []netsim.Option) (*Result, error) {
+	tune = tune.withDefaults()
+	pr, err := newProto(tr, edges, seed, true, false, opts)
+	if err != nil {
+		return nil, err
+	}
+	ccSteps := len(pr.steps) // the schedule CC would run, for rounds-saved
+	if !tune.Combine {
+		pr.steps = nil // subscription push: fewest rounds per phase
+	}
+	strategy := "fast"
+	if len(pr.steps) > 0 {
+		strategy = fmt.Sprintf("fast+combine×%d", len(pr.steps))
+	}
+
+	nV := len(pr.ids)
+	leadFrac := 1
+	for leadFrac < tune.LeaderFrac {
+		leadFrac <<= 1
+	}
+	fs := &fastState{
+		tune:      tune,
+		b:         int32(tune.Budget),
+		leadMask:  uint64(leadFrac - 1),
+		seed:      hashing.Mix64(seed + 0xFA57),
+		knowBuf:   make([]int32, nV*tune.Budget),
+		knowLen:   make([]int32, nV),
+		knowAt:    make([]int32, nV),
+		leader:    make([]bool, nV),
+		changedAt: make([]int32, nV),
+		newAt:     make([]int32, nV*tune.Budget),
+		evictBuf:  make([]int32, nV*tune.Budget),
+		evictLen:  make([]int32, nV),
+		evictAt:   make([]int32, nV),
+		subs:      make([][]uint64, len(pr.nodes)),
+	}
+	for a := range fs.evictAt {
+		fs.evictAt[a] = -1
+	}
+	for a := range fs.changedAt {
+		fs.changedAt[a] = -1
+	}
+	pr.fast = true
+	pr.fs = fs
+
+	// Flight recorder: one span per expansion phase with its doubling
+	// schedule, plus the rounds-saved counter against the Borůvka schedule
+	// this input would have run (computed locally, only when a recorder is
+	// listening — the estimate costs an edge scan per estimated phase).
+	tc := pr.e.Tracer()
+	mx := pr.e.Metrics()
+	var phaseTid int64
+	if tc != nil {
+		phaseTid = tc.NewTid("graph cc-fast phases")
+		pr.hier.TraceCombine(tc, pr.weights, place.CombineOptions{})
+	}
+	mPhases := mx.Counter("graph.ccfast.phases")
+	mDbl := mx.Counter("graph.ccfast.doubling_rounds")
+	mFallback := mx.Counter("graph.ccfast.fallback_phases")
+	mSaved := mx.Counter("graph.ccfast.rounds_saved")
+	estimate := tc != nil || mx != nil
+
+	phases := 0
+	for {
+		act := pr.totalActive()
+		if act == 0 && phases > 0 {
+			break
+		}
+		if phases == maxPhases {
+			return nil, fmt.Errorf("graph: fast contraction did not converge after %d phases", maxPhases)
+		}
+		phases++
+		pr.phase = int32(phases)
+		mPhases.Inc()
+		var sp obs.Span
+		if tc != nil {
+			sp = obs.Begin(tc, phaseTid, fmt.Sprintf("expand phase %d", phases), "graph.phase")
+		}
+
+		// Fused adjacency/registration round seeds the known-sets; phase 1
+		// runs it even on an edgeless input so every vertex registers.
+		fs.dblStamp++
+		pr.adjacency()
+
+		// Exponentiate under the guard: stop when a step would blow the
+		// phase budget (fall back to hooking with the Borůvka-equivalent
+		// 1-hop sets), when a step changes nothing, or at the cap.
+		fs.volBudget = int64(tune.VolumeFactor) * (2*int64(act) + int64(pr.totalAlive()))
+		fs.dblRounds, fs.changed, fs.fellBack = 0, -1, false
+		for fs.dblRounds < tune.MaxDoubling && fs.changed != 0 {
+			if pr.planVolume() > fs.volBudget {
+				fs.fellBack = true
+				mFallback.Inc()
+				break
+			}
+			fs.changed = pr.double()
+			fs.dblRounds++
+			mDbl.Inc()
+		}
+
+		pr.proposeFromKnow()
+		if err := pr.jump(pr.hook()); err != nil {
+			return nil, err
+		}
+		if len(pr.steps) > 0 {
+			for i := range pr.nodes {
+				pr.collectNeedsFast(i)
+			}
+			pr.lookups()
+		} else {
+			pr.pushRoots()
+		}
+		if err := pr.relabel(); err != nil {
+			return nil, err
+		}
+		if tc != nil {
+			sp.End(map[string]any{
+				"phase": phases, "active_edges": act,
+				"doubling_rounds": fs.dblRounds, "budget_fallback": fs.fellBack,
+			})
+		}
+	}
+
+	res := pr.assemble(phases, strategy)
+	if estimate {
+		if saved := boruvkaRounds(pr, edges, ccSteps) - res.Report.NumRounds(); saved > 0 {
+			mSaved.Add(int64(saved))
+		}
+	}
+	return res, nil
+}
+
+// boruvkaRounds replays the deterministic Borůvka schedule (cc.go) on the
+// same renumbered input without touching the network, and returns the
+// exchange rounds CC would have spent: register and per-phase propose
+// rounds (one each plus one per combining step), two rounds per pointer-
+// halving iteration, and the lookup query/reply pair (plus up/down sweeps
+// per combining step). Feeds the rounds-saved counter and exper X9.
+func boruvkaRounds(pr *proto, edges Placement, steps int) int {
+	nV := len(pr.ids)
+	us := make([]int32, 0, 2*int(edges.NumEdges()))
+	vs := make([]int32, 0, cap(us))
+	for _, frag := range edges {
+		for _, ed := range frag {
+			u, v := pr.idxOf(ed.U), pr.idxOf(ed.V)
+			if u != v {
+				us = append(us, u)
+				vs = append(vs, v)
+			}
+		}
+	}
+	best := make([]int32, nV)
+	par := make([]int32, nV)
+	root := make([]int32, nV)
+	for a := range par {
+		par[a] = -1
+		root[a] = int32(a)
+	}
+	rounds := steps + 1 // register
+	for phase := 0; len(us) > 0 && phase < maxPhases; phase++ {
+		for a := range best {
+			best[a] = -1
+		}
+		for k := range us {
+			a, b := us[k], vs[k]
+			if best[a] == -1 || b < best[a] {
+				best[a] = b
+			}
+			if best[b] == -1 || a < best[b] {
+				best[b] = a
+			}
+		}
+		unresolved := 0
+		for a := range best {
+			if best[a] != -1 && best[a] < int32(a) {
+				par[a] = best[a]
+				root[a] = -1
+				unresolved++
+			} else {
+				par[a] = -1
+				root[a] = int32(a)
+			}
+		}
+		rounds += steps + 1 // propose
+		for ; unresolved > 0; rounds += 2 {
+			// One query/reply pair per halving iteration.
+			for a := range par {
+				if root[a] != -1 || par[a] == -1 {
+					continue
+				}
+				q := par[a]
+				if root[q] != -1 {
+					root[a] = root[q]
+					unresolved--
+				} else {
+					par[a] = par[q]
+				}
+			}
+		}
+		rounds += 2 + 2*steps // lookups
+		w := 0
+		for k := range us {
+			ra, rb := root[us[k]], root[vs[k]]
+			if ra != rb {
+				us[w], vs[w] = ra, rb
+				w++
+			}
+		}
+		us, vs = us[:w], vs[:w]
+	}
+	return rounds
+}

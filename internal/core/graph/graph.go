@@ -87,6 +87,8 @@ const (
 	tagLookupA                           // root lookup reply: [a, root, ...]
 	tagLookupUp                          // lookup query, member → combiner
 	tagLookupDown                        // lookup reply, combiner → member
+	tagAdj                               // cc-fast adjacency: packed [a<<32|b, ...]
+	tagKnow                              // cc-fast known-set push: packed [u<<32|x, ...]
 )
 
 // Result of a connectivity protocol run.

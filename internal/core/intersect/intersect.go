@@ -96,7 +96,9 @@ func finish(e *netsim.Engine, in *instance, extraS func(i int) []uint64) *Result
 	}
 	for i, v := range in.nodes {
 		rSet := make(map[uint64]struct{})
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == netsim.TagR {
 				for _, k := range m.Keys {
 					rSet[k] = struct{}{}
@@ -114,7 +116,8 @@ func finish(e *netsim.Engine, in *instance, extraS func(i int) []uint64) *Result
 				out = append(out, k)
 			}
 		}
-		for _, m := range e.Inbox(v) {
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == netsim.TagS {
 				for _, k := range m.Keys {
 					consider(k)

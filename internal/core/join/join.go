@@ -252,7 +252,9 @@ func Tree(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.Option) 
 	for i, v := range nodes {
 		rGroups := make(map[uint64][]uint64)
 		var sTuples []Tuple
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			switch m.Tag {
 			case netsim.TagR:
 				for _, tp := range decode(m.Keys) {
@@ -333,7 +335,9 @@ func UniformHash(t *topology.Tree, r, s Placement, seed uint64, opts ...netsim.O
 	for i, v := range nodes {
 		rGroups := make(map[uint64][]uint64)
 		var sTuples []Tuple
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			switch m.Tag {
 			case netsim.TagR:
 				for _, tp := range decode(m.Keys) {

@@ -93,7 +93,9 @@ func star(tr *topology.Tree, rels []Placement, seed uint64, aware bool, opts []n
 		// All tuples of a join value land on one node, so local per-value
 		// counts are the global ones.
 		cnt := make(map[uint64][]int64)
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			j := int(m.Tag)
 			for _, tp := range decode(m.Keys) {
 				c := cnt[tp.A]

@@ -185,7 +185,9 @@ func triangle(tr *topology.Tree, r, s, tt Placement, seed uint64, aware bool, op
 				key = func(t Tuple) int { return ca(t.B)*gc + cc(t.A) }
 			}
 			slabs := make(map[int]map[Tuple]int64)
-			for _, m := range e.Inbox(v) {
+			ib := e.Inbox(v)
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
 				if m.Tag != tag {
 					continue
 				}

@@ -97,7 +97,9 @@ func splitterSort(tr *topology.Tree, data dataset.Placement, seed uint64, aware 
 
 	// Round 2: coordinator broadcasts the capacity-apportioned splitters.
 	var samples []uint64
-	for _, m := range e.Inbox(coordinator) {
+	ib := e.Inbox(coordinator)
+	for mi := 0; mi < ib.Len(); mi++ {
+		m := ib.At(mi)
 		samples = append(samples, m.Keys...)
 	}
 	sortU64(samples)
@@ -134,7 +136,9 @@ func splitterSort(tr *topology.Tree, data dataset.Placement, seed uint64, aware 
 	for _, v := range order {
 		i := idx[v]
 		var final []uint64
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == netsim.TagData {
 				final = append(final, m.Keys...)
 			}

@@ -152,7 +152,9 @@ func gather(in *instance, target int, strategy string, opts []netsim.Option) (*R
 		Strategy: strategy,
 	}
 	var final []uint64
-	for _, m := range e.Inbox(in.nodes[target]) {
+	ib := e.Inbox(in.nodes[target])
+	for mi := 0; mi < ib.Len(); mi++ {
+		m := ib.At(mi)
 		final = append(final, m.Keys...)
 	}
 	sortU64(final)

@@ -61,7 +61,9 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64, opts ...net
 
 	// Round 2: coordinator broadcasts |VC|−1 uniform splitters.
 	var samples []uint64
-	for _, m := range e.Inbox(coordinator) {
+	ib := e.Inbox(coordinator)
+	for mi := 0; mi < ib.Len(); mi++ {
+		m := ib.At(mi)
 		samples = append(samples, m.Keys...)
 	}
 	sortU64(samples)
@@ -92,7 +94,9 @@ func TeraSort(t *topology.Tree, data dataset.Placement, seed uint64, opts ...net
 	for _, v := range order {
 		i := idx[v]
 		var final []uint64
-		for _, m := range e.Inbox(v) {
+		ib := e.Inbox(v)
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == netsim.TagData {
 				final = append(final, m.Keys...)
 			}

@@ -124,7 +124,9 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 	working := make([][]uint64, k)
 	for j, i := range heavy {
 		working[j] = append(working[j], in.data[i]...)
-		for _, m := range e.Inbox(in.nodes[i]) {
+		ib := e.Inbox(in.nodes[i])
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			working[j] = append(working[j], m.Keys...)
 		}
 	}
@@ -160,7 +162,9 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 
 	// Round 3: v₁ computes and broadcasts the splitters.
 	var allSamples []uint64
-	for _, m := range e.Inbox(coordinator) {
+	ib := e.Inbox(coordinator)
+	for mi := 0; mi < ib.Len(); mi++ {
+		m := ib.At(mi)
 		if m.Tag == netsim.TagSample {
 			allSamples = append(allSamples, m.Keys...)
 		}
@@ -209,7 +213,9 @@ func WTSWithOpts(t *topology.Tree, data dataset.Placement, seed uint64, opts Opt
 	}
 	for _, i := range heavy {
 		var final []uint64
-		for _, m := range e.Inbox(in.nodes[i]) {
+		ib := e.Inbox(in.nodes[i])
+		for mi := 0; mi < ib.Len(); mi++ {
+			m := ib.At(mi)
 			if m.Tag == netsim.TagData {
 				final = append(final, m.Keys...)
 			}

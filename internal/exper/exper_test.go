@@ -6,7 +6,7 @@ import (
 )
 
 func TestAllRegistered(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))

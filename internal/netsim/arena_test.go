@@ -175,7 +175,7 @@ func TestExecuteAsyncInboxVisible(t *testing.T) {
 	x.Out(vs[0]).Send(vs[1], TagData, []uint64{7, 8})
 	x.ExecuteAsync()
 
-	in := e.Inbox(vs[1])
+	in := e.Inbox(vs[1]).Messages()
 	if len(in) != 1 || len(in[0].Keys) != 2 || in[0].Keys[0] != 7 {
 		t.Fatalf("inbox after ExecuteAsync: %+v", in)
 	}

@@ -263,7 +263,7 @@ func (x *Exchange) execute() int {
 			if to != topology.NoNode {
 				messages++
 				elements += int64(len(ob.keys[j]))
-				e.inboxNext[to] = append(e.inboxNext[to], Message{From: v, To: to, Tag: ob.tag[j], Keys: ob.keys[j]})
+				e.inboxNext[to].push(v, ob.tag[j], ob.keys[j])
 				continue
 			}
 			stamp := e.nextStamp()
@@ -274,7 +274,7 @@ func (x *Exchange) execute() int {
 				e.dupStamp[d] = stamp
 				messages++
 				elements += int64(len(ob.keys[j]))
-				e.inboxNext[d] = append(e.inboxNext[d], Message{From: v, To: d, Tag: ob.tag[j], Keys: ob.keys[j]})
+				e.inboxNext[d].push(v, ob.tag[j], ob.keys[j])
 			}
 		}
 	}

@@ -141,7 +141,7 @@ func TestExchangeMatchesRound(t *testing.T) {
 
 		xe := x.e
 		for _, v := range tr.ComputeNodes() {
-			if !reflect.DeepEqual(xe.Inbox(v), legacyOrdered.Inbox(v)) {
+			if !reflect.DeepEqual(xe.Inbox(v).Messages(), legacyOrdered.Inbox(v).Messages()) {
 				t.Fatalf("trial %d: inbox of %d differs:\n got %v\nwant %v",
 					trial, v, xe.Inbox(v), legacyOrdered.Inbox(v))
 			}
@@ -176,7 +176,7 @@ func TestExchangePlanMatchesRoundParallel(t *testing.T) {
 
 	statsEqual(t, got, want)
 	for _, v := range vs {
-		if !reflect.DeepEqual(ex.Inbox(v), legacy.Inbox(v)) {
+		if !reflect.DeepEqual(ex.Inbox(v).Messages(), legacy.Inbox(v).Messages()) {
 			t.Fatalf("inbox of %d differs", v)
 		}
 	}
@@ -228,7 +228,7 @@ func TestExchangeSelfSend(t *testing.T) {
 	if stats.NodeSent[vs[0]] != 0 || stats.NodeReceived[vs[0]] != 0 {
 		t.Fatalf("self-send touched sent/received: %v %v", stats.NodeSent, stats.NodeReceived)
 	}
-	in := e.Inbox(vs[0])
+	in := e.Inbox(vs[0]).Messages()
 	if len(in) != 1 || len(in[0].Keys) != 3 {
 		t.Fatalf("self-send not delivered: %v", in)
 	}
@@ -246,7 +246,7 @@ func TestExchangeMulticastDuplicates(t *testing.T) {
 	x := e.Exchange()
 	x.Out(vs[0]).Multicast([]topology.NodeID{vs[1], vs[1], vs[1], vs[2]}, TagData, []uint64{9, 9})
 	stats := x.Execute()
-	if got := len(e.Inbox(vs[1])); got != 1 {
+	if got := e.Inbox(vs[1]).Len(); got != 1 {
 		t.Fatalf("duplicate destination delivered %d times, want 1", got)
 	}
 	if stats.Messages != 2 {
@@ -274,18 +274,18 @@ func TestExchangeInboxRecycling(t *testing.T) {
 	x := e.Exchange()
 	x.Out(vs[0]).Send(vs[1], TagData, []uint64{1})
 	x.Execute()
-	if len(e.Inbox(vs[1])) != 1 {
+	if e.Inbox(vs[1]).Len() != 1 {
 		t.Fatalf("round 1 delivery missing")
 	}
 
 	x = e.Exchange()
 	x.Out(vs[1]).Send(vs[0], TagData, []uint64{2})
 	x.Execute()
-	if len(e.Inbox(vs[1])) != 0 {
-		t.Fatalf("round 1 inbox leaked into round 2: %v", e.Inbox(vs[1]))
+	if e.Inbox(vs[1]).Len() != 0 {
+		t.Fatalf("round 1 inbox leaked into round 2: %v", e.Inbox(vs[1]).Messages())
 	}
-	if len(e.Inbox(vs[0])) != 1 || e.Inbox(vs[0])[0].Keys[0] != 2 {
-		t.Fatalf("round 2 delivery wrong: %v", e.Inbox(vs[0]))
+	if e.Inbox(vs[0]).Len() != 1 || e.Inbox(vs[0]).At(0).Keys[0] != 2 {
+		t.Fatalf("round 2 delivery wrong: %v", e.Inbox(vs[0]).Messages())
 	}
 	if e.NumRounds() != 2 {
 		t.Fatalf("NumRounds = %d, want 2", e.NumRounds())

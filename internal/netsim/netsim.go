@@ -68,14 +68,81 @@ type Message struct {
 	Keys []uint64
 }
 
+// nodeInbox stores one node's delivered messages in columnar form: the
+// per-message headers are parallel arrays (sender, tag, and the exclusive
+// end of the payload in the shared key pool), so a delivered message costs
+// 9 bytes of header instead of a 40-byte Message struct, and the payloads
+// of a round live in one contiguous pool per receiver instead of pointing
+// into sender-owned buffers. Deliveries copy their keys into the pool;
+// the arrays are reset (not freed) between rounds, so steady-state
+// delivery stays allocation-free once each receiver reaches its
+// high-water mark.
+type nodeInbox struct {
+	from []topology.NodeID
+	tag  []Tag
+	end  []int32 // pool offset one past message i's keys
+	pool []uint64
+}
+
+func (ib *nodeInbox) push(from topology.NodeID, tag Tag, keys []uint64) {
+	ib.from = append(ib.from, from)
+	ib.tag = append(ib.tag, tag)
+	ib.pool = append(ib.pool, keys...)
+	ib.end = append(ib.end, int32(len(ib.pool)))
+}
+
+func (ib *nodeInbox) reset() {
+	ib.from = ib.from[:0]
+	ib.tag = ib.tag[:0]
+	ib.end = ib.end[:0]
+	ib.pool = ib.pool[:0]
+}
+
+// Inbox is a read-only view of the messages delivered to one node in the
+// previous round. The view and the Keys of every materialized Message
+// alias engine-owned buffers: callers must not modify them and must not
+// retain them across rounds.
+type Inbox struct {
+	ib *nodeInbox
+	to topology.NodeID
+}
+
+// Len reports the number of delivered messages.
+func (in Inbox) Len() int { return len(in.ib.end) }
+
+// Messages materializes the whole inbox as a fresh slice. It allocates;
+// protocol hot paths should iterate with Len/At instead.
+func (in Inbox) Messages() []Message {
+	out := make([]Message, in.Len())
+	for i := range out {
+		out[i] = in.At(i)
+	}
+	return out
+}
+
+// At materializes message i. The Keys slice aliases the inbox pool.
+func (in Inbox) At(i int) Message {
+	var lo int32
+	if i > 0 {
+		lo = in.ib.end[i-1]
+	}
+	hi := in.ib.end[i]
+	return Message{
+		From: in.ib.from[i],
+		To:   in.to,
+		Tag:  in.ib.tag[i],
+		Keys: in.ib.pool[lo:hi:hi],
+	}
+}
+
 // Engine executes rounds on a fixed tree and accumulates cost statistics.
 type Engine struct {
 	t  *topology.Tree
 	sc *topology.SteinerScratch
 
 	rounds    []RoundStats
-	inboxCur  [][]Message
-	inboxNext [][]Message
+	inboxCur  []nodeInbox
+	inboxNext []nodeInbox
 
 	pathBuf []topology.EdgeID
 	inRound bool
@@ -166,8 +233,8 @@ func NewEngine(t *topology.Tree, opts ...Option) *Engine {
 	e := &Engine{
 		t:         t,
 		sc:        topology.NewSteinerScratch(t),
-		inboxCur:  make([][]Message, t.NumNodes()),
-		inboxNext: make([][]Message, t.NumNodes()),
+		inboxCur:  make([]nodeInbox, t.NumNodes()),
+		inboxNext: make([]nodeInbox, t.NumNodes()),
 		cindex:    make([]int32, t.NumNodes()),
 		dupStamp:  make([]int32, t.NumNodes()),
 	}
@@ -277,9 +344,10 @@ func (e *Engine) ensureArena() {
 func (e *Engine) Tree() *topology.Tree { return e.t }
 
 // Inbox reports the messages delivered to v at the end of the previous
-// round. The slice is owned by the engine; callers must not modify it and
-// must not retain it across rounds.
-func (e *Engine) Inbox(v topology.NodeID) []Message { return e.inboxCur[v] }
+// round as an indexed view. The view and the key slices it hands out are
+// owned by the engine; callers must not modify them and must not retain
+// them across rounds.
+func (e *Engine) Inbox(v topology.NodeID) Inbox { return Inbox{ib: &e.inboxCur[v], to: v} }
 
 // NumRounds reports the number of completed rounds.
 func (e *Engine) NumRounds() int {
@@ -345,7 +413,7 @@ func (r *Round) Send(from, to topology.NodeID, tag Tag, keys []uint64) {
 		}
 		r.sent[from] += int64(len(keys))
 	}
-	r.deliver(Message{From: from, To: to, Tag: tag, Keys: keys})
+	r.deliver(from, to, tag, keys)
 }
 
 // Multicast transmits keys from one compute node to every node in dsts,
@@ -372,17 +440,17 @@ func (r *Round) Multicast(from topology.NodeID, dsts []topology.NodeID, tag Tag,
 			continue
 		}
 		r.e.dupStamp[d] = stamp
-		r.deliver(Message{From: from, To: d, Tag: tag, Keys: keys})
+		r.deliver(from, d, tag, keys)
 	}
 }
 
-func (r *Round) deliver(m Message) {
+func (r *Round) deliver(from, to topology.NodeID, tag Tag, keys []uint64) {
 	r.messages++
-	r.elements += int64(len(m.Keys))
-	if m.From != m.To {
-		r.received[m.To] += int64(len(m.Keys))
+	r.elements += int64(len(keys))
+	if from != to {
+		r.received[to] += int64(len(keys))
 	}
-	r.e.inboxNext[m.To] = append(r.e.inboxNext[m.To], m)
+	r.e.inboxNext[to].push(from, tag, keys)
 }
 
 // Finish closes the round: it computes the round cost, records statistics,
@@ -465,7 +533,7 @@ func (e *Engine) finishStats(slot int, traffic, sent, received []int64) {
 // inboxes for the next round.
 func (e *Engine) swapInboxes() {
 	for v := range e.inboxCur {
-		e.inboxCur[v] = e.inboxCur[v][:0]
+		e.inboxCur[v].reset()
 	}
 	e.inboxCur, e.inboxNext = e.inboxNext, e.inboxCur
 }

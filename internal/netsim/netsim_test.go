@@ -33,10 +33,10 @@ func TestUnicastCostStar(t *testing.T) {
 	if st.Messages != 1 || st.Elements != 10 {
 		t.Errorf("messages=%d elements=%d, want 1/10", st.Messages, st.Elements)
 	}
-	if got := e.Inbox(vs[1]); len(got) != 1 || len(got[0].Keys) != 10 {
+	if got := e.Inbox(vs[1]).Messages(); len(got) != 1 || len(got[0].Keys) != 10 {
 		t.Fatalf("inbox of v2 = %v", got)
 	}
-	if got := e.Inbox(vs[0]); len(got) != 0 {
+	if got := e.Inbox(vs[0]).Messages(); len(got) != 0 {
 		t.Fatalf("inbox of v1 should be empty, got %v", got)
 	}
 }
@@ -51,7 +51,7 @@ func TestSelfSendIsFree(t *testing.T) {
 	if st.Cost != 0 {
 		t.Errorf("self-send cost = %v, want 0", st.Cost)
 	}
-	if len(e.Inbox(vs[0])) != 1 {
+	if e.Inbox(vs[0]).Len() != 1 {
 		t.Error("self-send not delivered")
 	}
 }
@@ -88,7 +88,7 @@ func TestMulticastChargesSteinerOnce(t *testing.T) {
 		t.Errorf("multicast total %d should beat unicast total %d on shared edges", multiTotal, uniTotal)
 	}
 	// Both destinations received the payload.
-	if len(e.Inbox(vs[1])) != 1 || len(e.Inbox(vs[2])) != 1 {
+	if e.Inbox(vs[1]).Len() != 1 || e.Inbox(vs[2]).Len() != 1 {
 		t.Error("multicast not delivered to all destinations")
 	}
 }
@@ -162,7 +162,7 @@ func TestInboxVisibilityAcrossRounds(t *testing.T) {
 	rd.Send(vs[0], vs[1], TagR, []uint64{1, 2, 3})
 	rd.Finish()
 
-	if got := e.Inbox(vs[1]); len(got) != 1 || got[0].Tag != TagR {
+	if got := e.Inbox(vs[1]).Messages(); len(got) != 1 || got[0].Tag != TagR {
 		t.Fatalf("round-1 delivery missing: %v", got)
 	}
 
@@ -170,13 +170,13 @@ func TestInboxVisibilityAcrossRounds(t *testing.T) {
 	// is still readable.
 	rd = e.BeginRound()
 	in := e.Inbox(vs[1])
-	rd.Send(vs[1], vs[0], TagS, in[0].Keys)
+	rd.Send(vs[1], vs[0], TagS, in.At(0).Keys)
 	rd.Finish()
 
-	if got := e.Inbox(vs[0]); len(got) != 1 || got[0].Tag != TagS || len(got[0].Keys) != 3 {
+	if got := e.Inbox(vs[0]).Messages(); len(got) != 1 || got[0].Tag != TagS || len(got[0].Keys) != 3 {
 		t.Fatalf("round-2 delivery wrong: %v", got)
 	}
-	if got := e.Inbox(vs[1]); len(got) != 0 {
+	if got := e.Inbox(vs[1]).Messages(); len(got) != 0 {
 		t.Fatalf("old inbox not cleared: %v", got)
 	}
 }
@@ -256,7 +256,7 @@ func TestParallelMergesInNodeOrder(t *testing.T) {
 		out.Send(vs[0], TagData, []uint64{uint64(v)})
 	})
 	rd.Finish()
-	in := e.Inbox(vs[0])
+	in := e.Inbox(vs[0]).Messages()
 	if len(in) != len(vs) {
 		t.Fatalf("inbox size %d, want %d", len(in), len(vs))
 	}
@@ -281,7 +281,7 @@ func TestParallelMulticast(t *testing.T) {
 	if st.Messages != 2 {
 		t.Errorf("messages = %d, want 2", st.Messages)
 	}
-	if len(e.Inbox(vs[1])) != 1 || len(e.Inbox(vs[2])) != 1 {
+	if e.Inbox(vs[1]).Len() != 1 || e.Inbox(vs[2]).Len() != 1 {
 		t.Error("multicast deliveries missing")
 	}
 }

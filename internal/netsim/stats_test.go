@@ -83,7 +83,7 @@ func TestMulticastDuplicateDestinations(t *testing.T) {
 	rd := e.BeginRound()
 	rd.Multicast(vs[0], []topology.NodeID{vs[1], vs[1], vs[1]}, TagData, make([]uint64, 4))
 	st := rd.Finish()
-	if got := len(e.Inbox(vs[1])); got != 1 {
+	if got := e.Inbox(vs[1]).Len(); got != 1 {
 		t.Errorf("duplicate destinations delivered %d times, want 1", got)
 	}
 	if st.Elements != 4 {

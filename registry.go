@@ -421,6 +421,18 @@ func init() {
 		},
 	})
 	mustRegister(Task{
+		Name:        "cc-fast",
+		Description: "connected components by budgeted graph exponentiation (log-diameter phases)",
+		Kind:        TaskGraph,
+		Run: func(c *Cluster, in TaskInput) (*TaskResult, error) {
+			res, err := c.ConnectedComponentsFast(decodeGraph(in.Data), in.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graphTaskResult(in, res)
+		},
+	})
+	mustRegister(Task{
 		Name:        "cc-flat",
 		Description: "connected components with uniform homes and direct delivery (flat baseline)",
 		Kind:        TaskGraph,
