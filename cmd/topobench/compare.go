@@ -112,15 +112,22 @@ func compareAll(dir string, cfg benchConfig, stdout io.Writer) error {
 }
 
 // compareScale diffs an already-run scale sweep against the committed
-// BENCH_scale.json, matching records by (name, size). Records missing
-// from the baseline — e.g. -scale-big probes against a baseline recorded
-// without them — are skipped.
+// BENCH_scale.json, matching records by (name, size, workers) so the
+// multicore sweep's rows pair with their baseline counterparts. Records
+// missing from the baseline — e.g. -scale-big probes against a baseline
+// recorded without them, or worker counts the baseline machine lacked —
+// are skipped.
 func compareScale(dir string, cur benchScale, stdout io.Writer) error {
 	var base benchScale
 	if err := loadBaseline(dir, "BENCH_scale.json", &base); err != nil {
 		return err
 	}
-	key := func(r scaleRecord) string { return fmt.Sprintf("%s@%d", r.Name, r.Size) }
+	key := func(r scaleRecord) string {
+		if r.Workers > 0 {
+			return fmt.Sprintf("%s@%d/w%d", r.Name, r.Size, r.Workers)
+		}
+		return fmt.Sprintf("%s@%d", r.Name, r.Size)
+	}
 	baseBy := make(map[string]scaleRecord, len(base.Records))
 	for _, r := range base.Records {
 		baseBy[key(r)] = r

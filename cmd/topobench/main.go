@@ -131,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *scale || *big {
-		sc, err := runScale(*seed, *big, *budget, stdout)
+		sc, err := runScale(*seed, *big, *budget, *workers, stdout)
 		if err != nil {
 			fmt.Fprintf(stderr, "topobench: %v\n", err)
 			return 1

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"slices"
 	"testing"
 	"time"
 
@@ -33,6 +34,10 @@ type scaleRecord struct {
 	// Size is the scale knob: topology nodes for exchange/topo-build and
 	// the smokes, graph vertices for cc.
 	Size int `json:"size"`
+	// Workers is the compute-plane worker count of a smoke probe; 0 means
+	// the engine default (GOMAXPROCS). Paired workers=1 / workers=N rows
+	// carry the multicore speedup in Speedup.
+	Workers int `json:"workers,omitempty"`
 	// NsPerOp is the steady-state per-op (benchmarked probes) or the
 	// single-run wall clock (smoke probes) in nanoseconds.
 	NsPerOp int64 `json:"ns_per_op"`
@@ -192,11 +197,22 @@ func ccScale(n int, seed uint64, stdout io.Writer) (scaleRecord, error) {
 // graph.CCFast) for the smoke probes.
 type ccRunner func(*topology.Tree, graph.Placement, uint64, ...netsim.Option) (*graph.Result, error)
 
+// Live-heap regression bounds for the smoke probes: a smoke fails when
+// the post-run live heap (after a forced GC) exceeds its bound, pinning
+// the contraction-time scratch release so the big runs cannot silently
+// climb back toward the pre-trimming ~7 GB plateau.
+const (
+	smokeHeapBudget = 1 << 27 // 128 MB for the 10⁵-vertex smoke (measured ~38 MB)
+	bigHeapBudget   = 1 << 30 // 1 GB for the 10⁶-vertex probes (measured ~0.41 GB; pre-trimming ~7.4 GB)
+)
+
 // ccSmoke runs one connectivity protocol once, end to end with lean
 // stats, on a graded caterpillar with the given total node count and a
 // G(n, p) input, and reports wall clock, rounds, total cost, and the
-// live heap after the run.
-func ccSmoke(name string, nodes, n int, p float64, seed uint64, run ccRunner, stdout io.Writer) (scaleRecord, error) {
+// live heap after the run. workers > 0 pins the compute-plane worker
+// count (0 keeps the engine default); heapBudget > 0 fails the probe
+// when the post-GC live heap exceeds it.
+func ccSmoke(name string, nodes, n int, p float64, seed uint64, workers int, heapBudget int64, run ccRunner, stdout io.Writer) (scaleRecord, error) {
 	tr, err := gradedCaterpillar(nodes / 2)
 	if err != nil {
 		return scaleRecord{}, err
@@ -205,24 +221,39 @@ func ccSmoke(name string, nodes, n int, p float64, seed uint64, run ccRunner, st
 	if err != nil {
 		return scaleRecord{}, err
 	}
+	opts := []netsim.Option{netsim.WithLeanStats()}
+	if workers > 0 {
+		opts = append(opts, netsim.WithWorkers(workers))
+	}
 	start := time.Now()
-	res, err := run(tr, edges, seed, netsim.WithLeanStats())
+	res, err := run(tr, edges, seed, opts...)
 	elapsed := time.Since(start)
 	if err != nil {
 		return scaleRecord{}, err
 	}
+	// Force a collection so HeapAlloc reports live bytes, not garbage that
+	// happens to be awaiting the next GC cycle.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	rec := scaleRecord{
-		Name: name, Size: nodes,
+		Name: name, Size: nodes, Workers: workers,
 		NsPerOp:   elapsed.Nanoseconds(),
 		Edges:     ne,
 		Rounds:    res.Report.NumRounds(),
 		Cost:      res.Report.TotalCost(),
 		HeapBytes: int64(ms.HeapAlloc),
 	}
-	fmt.Fprintf(stdout, "%s %d-node topology, %d verts, %d edges: %v wall, %d rounds, cost %.0f, %d components, heap %d MB\n",
-		name, nodes, n, ne, elapsed.Round(time.Millisecond), rec.Rounds, rec.Cost, res.Components, rec.HeapBytes>>20)
+	wtag := ""
+	if workers > 0 {
+		wtag = fmt.Sprintf(" [w=%d]", workers)
+	}
+	fmt.Fprintf(stdout, "%s%s %d-node topology, %d verts, %d edges: %v wall, %d rounds, cost %.0f, %d components, heap %d MB\n",
+		name, wtag, nodes, n, ne, elapsed.Round(time.Millisecond), rec.Rounds, rec.Cost, res.Components, rec.HeapBytes>>20)
+	if heapBudget > 0 && rec.HeapBytes > heapBudget {
+		return rec, fmt.Errorf("%s: live heap %d MB exceeds the %d MB budget (scratch trimming regression?)",
+			name, rec.HeapBytes>>20, heapBudget>>20)
+	}
 	return rec, nil
 }
 
@@ -251,8 +282,9 @@ func topoBuild(nodes int, stdout io.Writer) (scaleRecord, error) {
 // runScale executes the -scale sweep (and the -scale-big extension) and
 // writes BENCH_scale.json, returning the payload so -compare can diff it
 // against a committed baseline. A nonzero budget (seconds) fails the run
-// when the sweep's wall clock exceeds it.
-func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) (benchScale, error) {
+// when the sweep's wall clock exceeds it. workers > 0 caps the top of
+// the multicore sweep (0 uses NumCPU).
+func runScale(seed uint64, big bool, budgetSec, workers int, stdout io.Writer) (benchScale, error) {
 	start := time.Now()
 	out := benchScale{Seed: seed}
 	add := func(rec scaleRecord, err error) error {
@@ -274,8 +306,8 @@ func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) (benchScal
 		}
 	}
 	// The -scale smoke: a 10⁵-node caterpillar hosting an average-degree-4
-	// G(n, p) connectivity run.
-	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, graph.CC, stdout)); err != nil {
+	// G(n, p) connectivity run, with the live-heap regression bound.
+	if err := add(ccSmoke("cc-smoke", 100_000, 100_000, 4.0/100_000, seed, 0, smokeHeapBudget, graph.CC, stdout)); err != nil {
 		return benchScale{}, err
 	}
 	// The round-count trajectory: Borůvka cc vs exponentiation cc-fast on
@@ -283,23 +315,75 @@ func runScale(seed uint64, big bool, budgetSec int, stdout io.Writer) (benchScal
 	// so -compare tracks both rounds and total cost.
 	for _, n := range []int{10_000, 100_000} {
 		p := 20 / float64(n)
-		if err := add(ccSmoke("cc-rounds", n, n, p, seed, graph.CC, stdout)); err != nil {
+		if err := add(ccSmoke("cc-rounds", n, n, p, seed, 0, 0, graph.CC, stdout)); err != nil {
 			return benchScale{}, err
 		}
-		if err := add(ccSmoke("cc-fast-rounds", n, n, p, seed, graph.CCFast, stdout)); err != nil {
+		if err := add(ccSmoke("cc-fast-rounds", n, n, p, seed, 0, 0, graph.CCFast, stdout)); err != nil {
 			return benchScale{}, err
+		}
+	}
+	// Multicore sweep: the degree-20 10⁵ fixture at workers {1, 2, top}
+	// (deduplicated), pairing every row against the workers=1 run so the
+	// Speedup column records the compute-plane scaling on this machine.
+	// The hard invariant says rounds/cost/checksums are identical across
+	// worker counts, so only the wall clock may move.
+	maxW := workers
+	if maxW <= 0 {
+		maxW = runtime.NumCPU()
+	}
+	sweep := []int{1, 2, maxW}
+	slices.Sort(sweep)
+	sweep = slices.Compact(sweep)
+	for _, probe := range []struct {
+		name string
+		run  ccRunner
+	}{{"cc-workers", graph.CC}, {"cc-fast-workers", graph.CCFast}} {
+		var w1 int64
+		for _, w := range sweep {
+			rec, err := ccSmoke(probe.name, 100_000, 100_000, 20.0/100_000, seed, w, 0, probe.run, stdout)
+			if err != nil {
+				return benchScale{}, err
+			}
+			if w == 1 {
+				w1 = rec.NsPerOp
+			} else if rec.NsPerOp > 0 {
+				rec.Speedup = float64(w1) / float64(rec.NsPerOp)
+				fmt.Fprintf(stdout, "%s [w=%d]: %.2fx vs workers=1\n", probe.name, w, rec.Speedup)
+			}
+			out.Records = append(out.Records, rec)
 		}
 	}
 	if big {
 		if err := add(topoBuild(1_000_000, stdout)); err != nil {
 			return benchScale{}, err
 		}
-		// ≈10⁷ edges: p·n(n−1)/2 with n = 10⁶, p = 2·10⁻⁵.
-		if err := add(ccSmoke("cc-big", 1_000_000, 1_000_000, 2e-5, seed, graph.CC, stdout)); err != nil {
-			return benchScale{}, err
+		// ≈10⁷ edges: p·n(n−1)/2 with n = 10⁶, p = 2·10⁻⁵. Each probe
+		// always records a workers=1 row; on a multicore machine a paired
+		// workers=min(8, top) row carries the end-to-end speedup.
+		bigW := maxW
+		if bigW > 8 {
+			bigW = 8
 		}
-		if err := add(ccSmoke("cc-fast-big", 1_000_000, 1_000_000, 2e-5, seed, graph.CCFast, stdout)); err != nil {
-			return benchScale{}, err
+		for _, probe := range []struct {
+			name string
+			run  ccRunner
+		}{{"cc-big", graph.CC}, {"cc-fast-big", graph.CCFast}} {
+			r1, err := ccSmoke(probe.name, 1_000_000, 1_000_000, 2e-5, seed, 1, bigHeapBudget, probe.run, stdout)
+			if err != nil {
+				return benchScale{}, err
+			}
+			out.Records = append(out.Records, r1)
+			if bigW > 1 {
+				rN, err := ccSmoke(probe.name, 1_000_000, 1_000_000, 2e-5, seed, bigW, bigHeapBudget, probe.run, stdout)
+				if err != nil {
+					return benchScale{}, err
+				}
+				if rN.NsPerOp > 0 {
+					rN.Speedup = float64(r1.NsPerOp) / float64(rN.NsPerOp)
+					fmt.Fprintf(stdout, "%s [w=%d]: %.2fx vs workers=1\n", probe.name, bigW, rN.Speedup)
+				}
+				out.Records = append(out.Records, rN)
+			}
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"topompc/internal/hashing"
 	"topompc/internal/netsim"
 	"topompc/internal/obs"
+	"topompc/internal/par"
 	"topompc/internal/topology"
 )
 
@@ -279,8 +280,9 @@ type memberNeed struct {
 }
 
 // nodeScratch is the per-compute-node reusable scratch. Entries are only
-// touched by their own node's planning callback (or by the serial receipt
-// loops), so concurrent Plan never races.
+// touched by their own node's planning callback or by the pool shard that
+// owns the node's home index, so neither concurrent Plan nor the parallel
+// receipt loops ever race.
 type nodeScratch struct {
 	pairs    []propPair     // witness-mode proposal minima, sorted per label
 	k1s      []uint64       // non-witness proposal minima (one per label)
@@ -292,6 +294,96 @@ type nodeScratch struct {
 	members  [][]memberNeed // per up-step: who asked for what
 	emitTmp  []int32        // emit grouping: home-radix scratch
 	ptmp     []propPair     // emit grouping: home-radix scratch (witness)
+}
+
+// collectScratch is one pool shard's stamped dedup/min-combine arrays for
+// the relabel-time collection walks. Each shard owns a private copy, so
+// homes processed concurrently never share stamps; the per-home results
+// depend only on that home's input order, never on which shard ran it, so
+// they are identical for every worker count.
+type collectScratch struct {
+	dstamp int32
+	seenAt []int32
+	minAt  []int32
+	minB   []int32
+}
+
+// ensure sizes the stamp arrays for nV labels, lazily: shards that never
+// run a collection walk cost nothing.
+func (ws *collectScratch) ensure(nV int) {
+	if len(ws.seenAt) < nV {
+		ws.seenAt = make([]int32, nV)
+		ws.minAt = make([]int32, nV)
+		ws.minB = make([]int32, nV)
+	}
+}
+
+// trimFloor is the capacity below which scratch trimming never fires;
+// small buffers are not worth releasing.
+const trimFloor = 4096
+
+// trimmable reports whether a buffer of capacity c backing a live size l
+// should shrink. The 4x hysteresis means a steady-state phase never
+// thrashs between trim and regrow.
+func trimmable(c, l int) bool { return c >= trimFloor && c >= 4*l }
+
+// trimSlice reslices a live buffer to a snug copy once the graph has
+// contracted well below its capacity, counting the release into *n.
+func trimSlice[T any](s []T, n *int64) []T {
+	if trimmable(cap(s), len(s)) {
+		*n++
+		ns := make([]T, len(s))
+		copy(ns, s)
+		return ns
+	}
+	return s
+}
+
+// dropSlice releases dead scratch whose capacity dwarfs the expected next
+// working size; the next use reallocates to the then-current size.
+func dropSlice[T any](s []T, bound int, n *int64) []T {
+	if trimmable(cap(s), bound) {
+		*n++
+		return nil
+	}
+	return s
+}
+
+// trimScratch steps node i's big per-home buffers down with the
+// contraction: live arrays (active edges, alive labels, the precollected
+// next-phase lists) shrink to snug copies, dead scratch is released
+// outright when its capacity is out of proportion to the contracted
+// working set. Without this the 10^6-node run pins peak-size buffers — the
+// phase-1 working set — to the very end. Returns the number of buffers
+// released, feeding the graph.cc.scratch_trims counter.
+func (pr *proto) trimScratch(i int) int64 {
+	var n int64
+	sc := &pr.scr[i]
+	pr.active[i] = trimSlice(pr.active[i], &n)
+	pr.aliveList[i] = trimSlice(pr.aliveList[i], &n)
+	bound := 2*len(pr.active[i]) + len(pr.aliveList[i])
+	sc.pairs = dropSlice(sc.pairs, bound, &n)
+	sc.k1tmp = dropSlice(sc.k1tmp, bound, &n)
+	sc.need = dropSlice(sc.need, bound, &n)
+	sc.ndtmp = dropSlice(sc.ndtmp, bound, &n)
+	sc.needBuf = dropSlice(sc.needBuf, bound, &n)
+	sc.emitTmp = dropSlice(sc.emitTmp, bound, &n)
+	sc.ptmp = dropSlice(sc.ptmp, bound, &n)
+	pr.hooked[i] = dropSlice(pr.hooked[i], len(pr.aliveList[i]), &n)
+	if pr.fast {
+		// Fast phases rebuild both lists from a fresh adjacency round.
+		sc.k1s = dropSlice(sc.k1s, bound, &n)
+		sc.nextNeed = dropSlice(sc.nextNeed, bound, &n)
+	} else {
+		// The Borůvka path precollected next-phase contents into them.
+		sc.k1s = trimSlice(sc.k1s, &n)
+		sc.nextNeed = trimSlice(sc.nextNeed, &n)
+	}
+	if a := &pr.arena[i]; trimmable(cap(a.buf), bound) {
+		n++
+		a.buf = nil
+	}
+	return n
 }
 
 // payloadSlab is one node's outgoing-payload arena, reset every round.
@@ -363,22 +455,15 @@ type proto struct {
 	rootAt  []int32
 	rootVal []int32
 
-	// Jump-reply snapshot, stamped per jump iteration: answers about label
-	// q decoded from this iteration's reply messages. Replies from
-	// different homes about the same q carry identical snapshot values, so
-	// the shared arrays are well-defined.
+	// Jump-answer snapshot, stamped per jump iteration and keyed by hooked
+	// label a (home-partitioned, so the parallel read epoch writes each
+	// entry from exactly one shard): the answer a's home derives for a's
+	// current pointer target from the frozen pre-iteration state — the
+	// same values the reply messages on the wire carry.
 	jstamp int32
 	jrAt   []int32
 	jrVal  []int32
 	jrRoot []bool
-
-	// Relabel-time collection scratch, stamped per (node, use): seenAt
-	// dedups the next phase's lookup needs, minAt/minB min-combine its
-	// proposal minima. Only the serial relabel/init walks touch these.
-	dstamp int32
-	seenAt []int32
-	minAt  []int32
-	minB   []int32
 
 	homedVerts [][]int32 // per home: registered vertices homed here (sorted)
 	aliveList  [][]int32 // per home: alive labels (sorted, shrinks per phase)
@@ -388,6 +473,15 @@ type proto struct {
 
 	scr   []nodeScratch
 	arena []payloadSlab
+
+	// The compute plane: receipt loops and collection walks shard across
+	// pool workers by home index, with per-shard collection scratch and
+	// error slots so the parallel relabel stays race-free and its first
+	// error (in home order) survives the merge.
+	pool   *par.Pool
+	wscr   []collectScratch
+	relErr []error
+	mTrims *obs.Counter
 }
 
 // round executes one planned exchange with fn planning each compute node's
@@ -473,14 +567,14 @@ func (pr *proto) register() {
 				out.Send(pr.nodes[st.Target[i]], tagVertexUp, batch)
 			}
 		})
-		for i, v := range pr.nodes {
+		pr.pool.ForEach("cc register up receipt", len(pr.nodes), func(i int) {
 			if st.Target[i] != i {
 				pr.scr[i].need = pr.scr[i].need[:0] // forwarded up
-				continue
+				return
 			}
 			nd := pr.scr[i].need
 			grew := false
-			ib := pr.e.Inbox(v)
+			ib := pr.e.Inbox(pr.nodes[i])
 			for mi := 0; mi < ib.Len(); mi++ {
 				msg := ib.At(mi)
 				if msg.Tag != tagVertexUp {
@@ -495,7 +589,7 @@ func (pr *proto) register() {
 				nd = pr.sortDedup(i, nd)
 			}
 			pr.scr[i].need = nd
-		}
+		})
 	}
 	final := len(pr.steps) == 0
 	pr.round(func(i int, out *netsim.Outbox) {
@@ -504,8 +598,10 @@ func (pr *proto) register() {
 		}
 		pr.emitIndexGroups(i, out, tagVertex, pr.scr[i].need)
 	})
-	for i, v := range pr.nodes {
-		ib := pr.e.Inbox(v)
+	// Registration messages target the vertex's home, so shard i only
+	// writes label/registered entries homed at node i.
+	pr.pool.ForEach("cc register receipt", len(pr.nodes), func(i int) {
+		ib := pr.e.Inbox(pr.nodes[i])
 		for mi := 0; mi < ib.Len(); mi++ {
 			m := ib.At(mi)
 			if m.Tag != tagVertex {
@@ -521,11 +617,9 @@ func (pr *proto) register() {
 				}
 			}
 		}
-	}
-	for i := range pr.nodes {
 		pr.homedVerts[i], pr.scr[i].ndtmp = radixSortInt32(pr.homedVerts[i], pr.scr[i].ndtmp)
 		pr.aliveList[i], pr.scr[i].ndtmp = radixSortInt32(pr.aliveList[i], pr.scr[i].ndtmp)
-	}
+	})
 }
 
 // collectNext pre-combines, from node i's freshly relabeled state, what
@@ -533,65 +627,66 @@ func (pr *proto) register() {
 // proposal minima of its active edges (non-witness; witness carries edge
 // identities and rebuilds in prepProps) and the distinct lookup needs —
 // active endpoint labels plus homed vertex labels. The stamped arrays
-// dedup in O(1) per candidate; only the shrunken distinct lists get sorted
-// later, inside the planning callbacks.
-func (pr *proto) collectNext(i int) {
+// (owned by the calling pool shard) dedup in O(1) per candidate; only the
+// shrunken distinct lists get sorted later, inside the planning callbacks.
+func (pr *proto) collectNext(i int, ws *collectScratch) {
 	sc := &pr.scr[i]
+	ws.ensure(len(pr.label))
 	if !pr.witness {
-		pr.dstamp++
-		mst := pr.dstamp
+		ws.dstamp++
+		mst := ws.dstamp
 		ks := sc.k1s[:0]
 		for _, ed := range pr.active[i] {
-			if pr.minAt[ed.a] != mst {
-				pr.minAt[ed.a] = mst
-				pr.minB[ed.a] = ed.b
+			if ws.minAt[ed.a] != mst {
+				ws.minAt[ed.a] = mst
+				ws.minB[ed.a] = ed.b
 				ks = append(ks, 0) // reserved; rewritten below
-			} else if ed.b < pr.minB[ed.a] {
-				pr.minB[ed.a] = ed.b
+			} else if ed.b < ws.minB[ed.a] {
+				ws.minB[ed.a] = ed.b
 			}
-			if pr.minAt[ed.b] != mst {
-				pr.minAt[ed.b] = mst
-				pr.minB[ed.b] = ed.a
+			if ws.minAt[ed.b] != mst {
+				ws.minAt[ed.b] = mst
+				ws.minB[ed.b] = ed.a
 				ks = append(ks, 0)
-			} else if ed.a < pr.minB[ed.b] {
-				pr.minB[ed.b] = ed.a
+			} else if ed.a < ws.minB[ed.b] {
+				ws.minB[ed.b] = ed.a
 			}
 		}
 		// Rewrite the reserved slots with the final minima, in first-touch
 		// order; the radix sort at propose time orders them by label.
 		k := 0
-		pr.dstamp++
-		done := pr.dstamp
+		ws.dstamp++
+		done := ws.dstamp
 		for _, ed := range pr.active[i] {
-			if pr.minAt[ed.a] != done {
-				pr.minAt[ed.a] = done
-				ks[k] = uint64(uint32(ed.a))<<32 | uint64(uint32(pr.minB[ed.a]))
+			if ws.minAt[ed.a] != done {
+				ws.minAt[ed.a] = done
+				ks[k] = uint64(uint32(ed.a))<<32 | uint64(uint32(ws.minB[ed.a]))
 				k++
 			}
-			if pr.minAt[ed.b] != done {
-				pr.minAt[ed.b] = done
-				ks[k] = uint64(uint32(ed.b))<<32 | uint64(uint32(pr.minB[ed.b]))
+			if ws.minAt[ed.b] != done {
+				ws.minAt[ed.b] = done
+				ks[k] = uint64(uint32(ed.b))<<32 | uint64(uint32(ws.minB[ed.b]))
 				k++
 			}
 		}
 		sc.k1s = ks
 	}
-	pr.dstamp++
-	nst := pr.dstamp
+	ws.dstamp++
+	nst := ws.dstamp
 	nd := sc.nextNeed[:0]
 	for _, ed := range pr.active[i] {
-		if pr.seenAt[ed.a] != nst {
-			pr.seenAt[ed.a] = nst
+		if ws.seenAt[ed.a] != nst {
+			ws.seenAt[ed.a] = nst
 			nd = append(nd, ed.a)
 		}
-		if pr.seenAt[ed.b] != nst {
-			pr.seenAt[ed.b] = nst
+		if ws.seenAt[ed.b] != nst {
+			ws.seenAt[ed.b] = nst
 			nd = append(nd, ed.b)
 		}
 	}
 	for _, v := range pr.homedVerts[i] {
-		if r := pr.label[v]; pr.seenAt[r] != nst {
-			pr.seenAt[r] = nst
+		if r := pr.label[v]; ws.seenAt[r] != nst {
+			ws.seenAt[r] = nst
 			nd = append(nd, r)
 		}
 	}
@@ -685,16 +780,16 @@ func (pr *proto) propose() {
 				out.Send(pr.nodes[st.Target[i]], tagProposeUp, pr.encodeProps(i))
 			}
 		})
-		for i, v := range pr.nodes {
+		pr.pool.ForEach("cc propose up receipt", len(pr.nodes), func(i int) {
 			if st.Target[i] != i {
 				pr.scr[i].pairs = pr.scr[i].pairs[:0] // forwarded up
 				pr.scr[i].k1s = pr.scr[i].k1s[:0]
-				continue
+				return
 			}
 			grew := false
 			if pr.witness {
 				prs := pr.scr[i].pairs
-				ib := pr.e.Inbox(v)
+				ib := pr.e.Inbox(pr.nodes[i])
 				for mi := 0; mi < ib.Len(); mi++ {
 					m := ib.At(mi)
 					if m.Tag == tagProposeUp {
@@ -714,7 +809,7 @@ func (pr *proto) propose() {
 				pr.scr[i].pairs = prs
 			} else {
 				ks := pr.scr[i].k1s
-				ib := pr.e.Inbox(v)
+				ib := pr.e.Inbox(pr.nodes[i])
 				for mi := 0; mi < ib.Len(); mi++ {
 					m := ib.At(mi)
 					if m.Tag == tagProposeUp {
@@ -730,7 +825,7 @@ func (pr *proto) propose() {
 				}
 				pr.scr[i].k1s = ks
 			}
-		}
+		})
 	}
 	direct := len(pr.steps) == 0
 	pr.round(func(i int, out *netsim.Outbox) {
@@ -739,8 +834,10 @@ func (pr *proto) propose() {
 		}
 		pr.emitProposals(i, out)
 	})
-	for _, v := range pr.nodes {
-		ib := pr.e.Inbox(v)
+	// Proposals target the label's home, so shard i min-merges only
+	// best-array entries homed at node i.
+	pr.pool.ForEach("cc propose receipt", len(pr.nodes), func(i int) {
+		ib := pr.e.Inbox(pr.nodes[i])
 		for mi := 0; mi < ib.Len(); mi++ {
 			m := ib.At(mi)
 			if m.Tag != tagPropose {
@@ -768,7 +865,7 @@ func (pr *proto) propose() {
 				}
 			}
 		}
-	}
+	})
 }
 
 // emitProposals sends node i's per-label minima to the label homes, one
@@ -822,26 +919,28 @@ func (pr *proto) emitProposals(i int, out *netsim.Outbox) {
 // a smaller neighbor label hook onto it (recording the witness edge in
 // witness mode); the rest are roots. Returns the number of hooked labels.
 func (pr *proto) hook() int {
-	unresolved := 0
-	for i := range pr.nodes {
-		pr.hooked[i] = pr.hooked[i][:0]
-		for _, a := range pr.aliveList[i] {
-			if pr.bestAt[a] == pr.phase && pr.bestB[a] < a {
-				pr.parAt[a] = pr.phase
-				pr.parPtr[a] = pr.bestB[a]
-				pr.hooked[i] = append(pr.hooked[i], a)
-				if pr.witness {
-					w := pr.bestW[a]
-					pr.forest[i] = append(pr.forest[i], Edge{U: pr.ids[w>>32], V: pr.ids[w&0xFFFFFFFF]})
+	return int(pr.pool.Sum("cc hook", len(pr.nodes), func(_, lo, hi int) int64 {
+		var unresolved int64
+		for i := lo; i < hi; i++ {
+			pr.hooked[i] = pr.hooked[i][:0]
+			for _, a := range pr.aliveList[i] {
+				if pr.bestAt[a] == pr.phase && pr.bestB[a] < a {
+					pr.parAt[a] = pr.phase
+					pr.parPtr[a] = pr.bestB[a]
+					pr.hooked[i] = append(pr.hooked[i], a)
+					if pr.witness {
+						w := pr.bestW[a]
+						pr.forest[i] = append(pr.forest[i], Edge{U: pr.ids[w>>32], V: pr.ids[w&0xFFFFFFFF]})
+					}
+					unresolved++
+				} else {
+					pr.rootAt[a] = pr.phase
+					pr.rootVal[a] = a
 				}
-				unresolved++
-			} else {
-				pr.rootAt[a] = pr.phase
-				pr.rootVal[a] = a
 			}
 		}
-	}
-	return unresolved
+		return unresolved
+	}))
 }
 
 // jump resolves every hooked label to the root of its hooking tree by
@@ -906,52 +1005,52 @@ func (pr *proto) jump(unresolved int) error {
 				}
 			}
 		})
-		// Receipt: decode every reply into the per-iteration snapshot
-		// arrays (replies about the same label are identical), then advance
-		// each still-hooked label by one answer.
+		// Receipt, in two epochs with a barrier between. Read epoch: every
+		// hooked label's home derives the answer for the label's pointer
+		// target from the frozen pre-iteration state — exactly the values
+		// the reply messages carry, keyed by the hooked label so every
+		// snapshot entry is written by one shard (the wire is accounted by
+		// the engine; decoding it would only re-read these same arrays).
+		// Write epoch: each label advances from its own snapshot entry, so
+		// no shard ever reads parent state another shard is rewriting.
 		pr.jstamp++
 		st := pr.jstamp
-		for _, v := range pr.nodes {
-			ib := pr.e.Inbox(v)
-			for mi := 0; mi < ib.Len(); mi++ {
-				m := ib.At(mi)
-				switch m.Tag {
-				case tagJumpRoot:
-					for k := 0; k+1 < len(m.Keys); k += 2 {
-						q := int32(m.Keys[k])
-						pr.jrAt[q] = st
-						pr.jrRoot[q] = true
-						pr.jrVal[q] = int32(m.Keys[k+1])
-					}
-				case tagJumpStep:
-					for k := 0; k+1 < len(m.Keys); k += 2 {
-						q := int32(m.Keys[k])
-						pr.jrAt[q] = st
-						pr.jrRoot[q] = false
-						pr.jrVal[q] = int32(m.Keys[k+1])
-					}
-				}
-			}
-		}
-		unresolved = 0
-		for i := range pr.nodes {
-			keep := pr.hooked[i][:0]
+		pr.pool.ForEach("cc jump snapshot", len(pr.nodes), func(i int) {
 			for _, a := range pr.hooked[i] {
-				if q := pr.parPtr[a]; pr.jrAt[q] == st {
-					if pr.jrRoot[q] {
-						pr.rootAt[a] = pr.phase
-						pr.rootVal[a] = pr.jrVal[q]
-					} else {
-						pr.parPtr[a] = pr.jrVal[q]
-					}
-				}
-				if pr.rootAt[a] != pr.phase {
-					keep = append(keep, a)
+				q := pr.parPtr[a]
+				if pr.rootAt[q] == pr.phase {
+					pr.jrAt[a] = st
+					pr.jrRoot[a] = true
+					pr.jrVal[a] = pr.rootVal[q]
+				} else if pr.parAt[q] == pr.phase {
+					pr.jrAt[a] = st
+					pr.jrRoot[a] = false
+					pr.jrVal[a] = pr.parPtr[q]
 				}
 			}
-			pr.hooked[i] = keep
-			unresolved += len(keep)
-		}
+		})
+		unresolved = int(pr.pool.Sum("cc jump advance", len(pr.nodes), func(_, lo, hi int) int64 {
+			var left int64
+			for i := lo; i < hi; i++ {
+				keep := pr.hooked[i][:0]
+				for _, a := range pr.hooked[i] {
+					if pr.jrAt[a] == st {
+						if pr.jrRoot[a] {
+							pr.rootAt[a] = pr.phase
+							pr.rootVal[a] = pr.jrVal[a]
+						} else {
+							pr.parPtr[a] = pr.jrVal[a]
+						}
+					}
+					if pr.rootAt[a] != pr.phase {
+						keep = append(keep, a)
+					}
+				}
+				pr.hooked[i] = keep
+				left += int64(len(keep))
+			}
+			return left
+		}))
 	}
 	return nil
 }
@@ -989,7 +1088,7 @@ func (pr *proto) lookups() {
 	// Up-sweep: members push their needs one level at a time; each engaged
 	// combiner records who asked for what (to fan the answers back) and
 	// carries the union upward.
-	for i := range pr.nodes {
+	pr.pool.ForEach("cc lookup reset", len(pr.nodes), func(i int) {
 		pr.scr[i].needBuf = pr.scr[i].needBuf[:0]
 		if cap(pr.scr[i].members) < len(pr.steps) {
 			pr.scr[i].members = make([][]memberNeed, len(pr.steps))
@@ -998,7 +1097,7 @@ func (pr *proto) lookups() {
 		for s := range pr.scr[i].members {
 			pr.scr[i].members[s] = pr.scr[i].members[s][:0]
 		}
-	}
+	})
 	for si := range pr.steps {
 		st := pr.steps[si]
 		first := si == 0
@@ -1017,14 +1116,14 @@ func (pr *proto) lookups() {
 				out.Send(pr.nodes[st.Target[i]], tagLookupUp, batch)
 			}
 		})
-		for i, v := range pr.nodes {
+		pr.pool.ForEach("cc lookup up receipt", len(pr.nodes), func(i int) {
 			if st.Target[i] != i {
 				pr.scr[i].nextNeed = pr.scr[i].nextNeed[:0] // forwarded up
-				continue
+				return
 			}
 			nd := pr.scr[i].nextNeed
 			grew := false
-			ib := pr.e.Inbox(v)
+			ib := pr.e.Inbox(pr.nodes[i])
 			for mi := 0; mi < ib.Len(); mi++ {
 				msg := ib.At(mi)
 				if msg.Tag != tagLookupUp {
@@ -1043,7 +1142,7 @@ func (pr *proto) lookups() {
 				nd = pr.sortDedup(i, nd)
 			}
 			pr.scr[i].nextNeed = nd
-		}
+		})
 	}
 
 	// Top carriers query the homes once per distinct label; homes reply.
@@ -1120,38 +1219,59 @@ func (pr *proto) replyLookups() {
 
 // relabel rewrites every active edge onto the phase roots, dropping edges
 // that became internal, updates the homed vertex labels, retires the
-// labels that hooked, and pre-collects the next phase's proposal minima
-// and lookup needs while the state is hot.
+// labels that hooked, pre-collects the next phase's proposal minima and
+// lookup needs while the state is hot, and steps the scratch capacities
+// down with the contraction. The walk shards by home across the pool; the
+// root arrays are frozen (read-only) here, every write is home-local, and
+// each shard keeps its first error so the merge can return the first
+// failure in home order — identical to the serial walk.
 func (pr *proto) relabel() error {
-	for i := range pr.nodes {
-		out := pr.active[i][:0]
-		for _, ed := range pr.active[i] {
-			if pr.rootAt[ed.a] != pr.phase || pr.rootAt[ed.b] != pr.phase {
-				return fmt.Errorf("graph: node %d missing root for edge label (%d,%d)", i, pr.ids[ed.a], pr.ids[ed.b])
+	for s := range pr.relErr {
+		pr.relErr[s] = nil
+	}
+	trims := pr.pool.Sum("cc relabel", len(pr.nodes), func(shard, lo, hi int) int64 {
+		ws := &pr.wscr[shard]
+		var nt int64
+		for i := lo; i < hi; i++ {
+			out := pr.active[i][:0]
+			for _, ed := range pr.active[i] {
+				if pr.rootAt[ed.a] != pr.phase || pr.rootAt[ed.b] != pr.phase {
+					pr.relErr[shard] = fmt.Errorf("graph: node %d missing root for edge label (%d,%d)", i, pr.ids[ed.a], pr.ids[ed.b])
+					return nt
+				}
+				ra, rb := pr.rootVal[ed.a], pr.rootVal[ed.b]
+				if ra != rb {
+					out = append(out, workEdge{a: ra, b: rb, wu: ed.wu, wv: ed.wv})
+				}
 			}
-			ra, rb := pr.rootVal[ed.a], pr.rootVal[ed.b]
-			if ra != rb {
-				out = append(out, workEdge{a: ra, b: rb, wu: ed.wu, wv: ed.wv})
+			pr.active[i] = out
+			for _, v := range pr.homedVerts[i] {
+				if pr.rootAt[pr.label[v]] != pr.phase {
+					pr.relErr[shard] = fmt.Errorf("graph: node %d missing root for vertex label %d", i, pr.ids[pr.label[v]])
+					return nt
+				}
+				pr.label[v] = pr.rootVal[pr.label[v]]
 			}
+			keep := pr.aliveList[i][:0]
+			for _, a := range pr.aliveList[i] {
+				if pr.rootVal[a] == a && pr.rootAt[a] == pr.phase {
+					keep = append(keep, a)
+				}
+			}
+			pr.aliveList[i] = keep
+			if !pr.fast {
+				pr.collectNext(i, ws)
+			}
+			nt += pr.trimScratch(i)
 		}
-		pr.active[i] = out
-		for _, v := range pr.homedVerts[i] {
-			if pr.rootAt[pr.label[v]] != pr.phase {
-				return fmt.Errorf("graph: node %d missing root for vertex label %d", i, pr.ids[pr.label[v]])
-			}
-			pr.label[v] = pr.rootVal[pr.label[v]]
-		}
-		keep := pr.aliveList[i][:0]
-		for _, a := range pr.aliveList[i] {
-			if pr.rootVal[a] == a && pr.rootAt[a] == pr.phase {
-				keep = append(keep, a)
-			}
-		}
-		pr.aliveList[i] = keep
-		if !pr.fast {
-			pr.collectNext(i)
+		return nt
+	})
+	for _, err := range pr.relErr {
+		if err != nil {
+			return err
 		}
 	}
+	pr.mTrims.Add(trims)
 	return nil
 }
 
@@ -1199,20 +1319,32 @@ func newProto(tr *topology.Tree, edges Placement, seed uint64, aware, witness bo
 		}
 	}
 
+	// The compute plane shares the engine's worker budget: WithWorkers
+	// governs exchange accounting and per-home protocol compute alike.
+	e := netsim.NewEngine(tr, opts...)
+	pool := par.New(e.WorkerBudget())
+	pool.Instrument(e.Tracer(), e.Metrics())
+
 	// Renumbering pass: sorted distinct vertex ids become the dense index
 	// space. Sorting keeps index order equal to id order, so every
-	// min-label comparison downstream is unchanged.
-	total := 0
-	for _, frag := range edges {
-		total += len(frag)
+	// min-label comparison downstream is unchanged. Fragments copy into
+	// precomputed disjoint offsets and the sort is the pool's parallel
+	// radix, so the pass scales with the workers while producing the same
+	// sorted id space as the serial walk.
+	offs := make([]int, len(edges)+1)
+	for fi, frag := range edges {
+		offs[fi+1] = offs[fi] + 2*len(frag)
 	}
-	all := make([]uint64, 0, 2*total)
-	for _, frag := range edges {
-		for _, ed := range frag {
-			all = append(all, ed.U, ed.V)
+	all := make([]uint64, offs[len(edges)])
+	pool.ForEach("cc renumber fill", len(edges), func(fi int) {
+		k := offs[fi]
+		for _, ed := range edges[fi] {
+			all[k] = ed.U
+			all[k+1] = ed.V
+			k += 2
 		}
-	}
-	all, _ = radixSortUint64(all, nil)
+	})
+	all, _ = pool.SortUint64(all, nil)
 	ids := slices.Compact(all)
 	nV := len(ids)
 
@@ -1222,20 +1354,22 @@ func newProto(tr *topology.Tree, edges Placement, seed uint64, aware, witness bo
 	if nV > 0 {
 		if maxID := ids[nV-1]; maxID <= uint64(4*nV)+1024 {
 			idToIdx = make([]int32, maxID+1)
-			for k, id := range ids {
-				idToIdx[id] = int32(k)
-			}
+			pool.ForEach("cc renumber table", nV, func(k int) {
+				idToIdx[ids[k]] = int32(k)
+			})
 		}
 	}
 
+	// The chooser is read-only after construction (alias-table lookups),
+	// so home hashing shards freely.
 	homeOf := make([]int32, nV)
-	for k, id := range ids {
-		homeOf[k] = int32(chooser.Choose(id))
-	}
+	pool.ForEach("cc renumber homes", nV, func(k int) {
+		homeOf[k] = int32(chooser.Choose(ids[k]))
+	})
 
 	pr := &proto{
 		t:          tr,
-		e:          netsim.NewEngine(tr, opts...),
+		e:          e,
 		nodes:      nodes,
 		nodeIdx:    nodeIdx,
 		steps:      steps,
@@ -1258,20 +1392,22 @@ func newProto(tr *topology.Tree, edges Placement, seed uint64, aware, witness bo
 		jrAt:       make([]int32, nV),
 		jrVal:      make([]int32, nV),
 		jrRoot:     make([]bool, nV),
-		seenAt:     make([]int32, nV),
-		minAt:      make([]int32, nV),
-		minB:       make([]int32, nV),
 		homedVerts: make([][]int32, p),
 		aliveList:  make([][]int32, p),
 		hooked:     make([][]int32, p),
 		scr:        make([]nodeScratch, p),
+		pool:       pool,
+		wscr:       make([]collectScratch, pool.Workers()),
+		relErr:     make([]error, pool.Workers()),
+		mTrims:     e.Metrics().Counter("graph.cc.scratch_trims"),
 	}
 	pr.arena = make([]payloadSlab, p)
 	if witness {
 		pr.forest = make([][]Edge, p)
 	}
 
-	for i, frag := range edges {
+	pr.pool.ForEach("cc initial scan", len(edges), func(i int) {
+		frag := edges[i]
 		nd := pr.scr[i].need
 		for _, ed := range frag {
 			u, v := pr.idxOf(ed.U), pr.idxOf(ed.V)
@@ -1281,7 +1417,7 @@ func newProto(tr *topology.Tree, edges Placement, seed uint64, aware, witness bo
 			}
 		}
 		pr.scr[i].need = nd
-	}
+	})
 	return pr, nil
 }
 
@@ -1292,16 +1428,23 @@ func (pr *proto) assemble(phases int, strategy string) *Result {
 		Phases:   phases,
 		Strategy: strategy,
 	}
-	for i := range pr.nodes {
+	// Per-home maps and fingerprints build independently; the reduce below
+	// sums them in home order (uint64 addition is associative, so the
+	// totals are worker-count-invariant either way).
+	sums := make([]uint64, len(pr.nodes))
+	pr.pool.ForEach("cc assemble", len(pr.nodes), func(i int) {
 		m := make(map[uint64]uint64, len(pr.homedVerts[i]))
 		for _, v := range pr.homedVerts[i] {
 			m[pr.ids[v]] = pr.ids[pr.label[v]]
 		}
 		res.PerNode[i] = m
+		sums[i] = Checksum(m)
+	})
+	for i := range pr.nodes {
 		res.Components += int64(len(pr.aliveList[i]))
 		// The homes partition the vertices, so summing the per-home
 		// fingerprints equals Checksum over the merged labeling.
-		res.Checksum += Checksum(m)
+		res.Checksum += sums[i]
 	}
 	if pr.witness {
 		for i := range pr.nodes {
@@ -1329,9 +1472,12 @@ func run(tr *topology.Tree, edges Placement, seed uint64, aware, witness bool, o
 
 	// Phase 1's planning inputs come from the initial placement: label[v]
 	// is v, so needs are the endpoints plus homed vertices as-is.
-	for i := range pr.nodes {
-		pr.collectNext(i)
-	}
+	pr.pool.Blocks("cc collect init", len(pr.nodes), func(shard, lo, hi int) {
+		ws := &pr.wscr[shard]
+		for i := lo; i < hi; i++ {
+			pr.collectNext(i, ws)
+		}
+	})
 
 	// Flight recorder: contraction metrics plus one span per Borůvka phase
 	// on a dedicated lane, and the hierarchy's combining decisions. All of

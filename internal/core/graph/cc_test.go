@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"topompc/internal/dataset"
 	"topompc/internal/lowerbound"
 	"topompc/internal/netsim"
+	"topompc/internal/obs"
 	"topompc/internal/topology"
 )
 
@@ -155,37 +157,111 @@ func TestCCAwareBeatsFlatOnBridgeOfCliques(t *testing.T) {
 	}
 }
 
-// TestCCDeterministicAcrossWorkers compares the full report and labeling
-// between a serial and a parallel run.
+// TestCCDeterministicAcrossWorkers pins the multicore hard invariant over
+// a grid of kernels × worker counts × fixtures: every worker count must
+// produce byte-identical labels, checksums, forests, and per-round cost
+// reports — the wire traffic is the same protocol regardless of how the
+// local compute is sharded.
 func TestCCDeterministicAcrossWorkers(t *testing.T) {
-	tree := testTrees(t)["twotier-skew"]
-	rng := rand.New(rand.NewSource(9))
-	packed, err := dataset.PowerLaw(rng, 400, 1200, 2)
+	trees := testTrees(t)
+	plRng := rand.New(rand.NewSource(9))
+	plPacked, err := dataset.PowerLaw(plRng, 400, 1200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnpRng := rand.New(rand.NewSource(11))
+	gnpPacked, err := dataset.GNP(gnpRng, 300, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := []struct {
+		name   string
+		tree   *topology.Tree
+		packed []uint64
+	}{
+		{"twotier-powerlaw", trees["twotier-skew"], plPacked},
+		{"caterpillar-gnp", trees["caterpillar"], gnpPacked},
+	}
+	kernels := map[string]func(*topology.Tree, Placement, uint64, ...netsim.Option) (*Result, error){
+		"cc": CC, "cc-fast": CCFast, "spanforest": SpanningForest,
+	}
+	for _, fx := range fixtures {
+		pl := placeEdges(fx.packed, fx.tree.NumCompute())
+		for kname, kernel := range kernels {
+			t.Run(fx.name+"/"+kname, func(t *testing.T) {
+				run := func(workers int) *Result {
+					res, err := kernel(fx.tree, pl, 42, netsim.WithWorkers(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				base := run(1)
+				baseLabels := base.Labels()
+				for _, workers := range []int{2, 8} {
+					res := run(workers)
+					if res.Checksum != base.Checksum || res.Components != base.Components || res.Phases != base.Phases {
+						t.Fatalf("workers=%d diverged: %d/%x/%d vs %d/%x/%d", workers,
+							res.Components, res.Checksum, res.Phases,
+							base.Components, base.Checksum, base.Phases)
+					}
+					labels := res.Labels()
+					if len(labels) != len(baseLabels) {
+						t.Fatalf("workers=%d labeled %d vertices, want %d", workers, len(labels), len(baseLabels))
+					}
+					for v, l := range baseLabels {
+						if labels[v] != l {
+							t.Fatalf("workers=%d: vertex %d labeled %d, want %d", workers, v, labels[v], l)
+						}
+					}
+					// Forest witnesses are emitted in deterministic hook
+					// order, so even the ordering must match.
+					if !slices.Equal(res.Forest, base.Forest) {
+						t.Fatalf("workers=%d: forest diverged", workers)
+					}
+					ra, rb := res.Report, base.Report
+					if ra.NumRounds() != rb.NumRounds() {
+						t.Fatalf("workers=%d: round counts diverged: %d vs %d", workers, ra.NumRounds(), rb.NumRounds())
+					}
+					for i := range ra.Rounds {
+						x, y := ra.Rounds[i], rb.Rounds[i]
+						if x.Cost != y.Cost || x.Elements != y.Elements ||
+							x.Messages != y.Messages || x.MaxReceived != y.MaxReceived {
+							t.Fatalf("workers=%d round %d diverged: cost %v/%v elements %d/%d messages %d/%d maxrecv %d/%d",
+								workers, i, x.Cost, y.Cost, x.Elements, y.Elements,
+								x.Messages, y.Messages, x.MaxReceived, y.MaxReceived)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCCScratchTrims pins the contraction-time memory release: on an input
+// big enough to cross the trim floor, the relabel walk must release or
+// shrink scratch as the graph contracts, and the run must stay correct.
+func TestCCScratchTrims(t *testing.T) {
+	tree := testTrees(t)["star"]
+	rng := rand.New(rand.NewSource(13))
+	packed, err := dataset.GNP(rng, 40_000, 1.5e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pl := placeEdges(packed, tree.NumCompute())
-	run := func(workers int) *Result {
-		res, err := CC(tree, pl, 42, netsim.WithWorkers(workers))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
+	ref := Reference(pl)
+	reg := obs.NewRegistry()
+	res, err := CC(tree, pl, 42, netsim.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
 	}
-	a, b := run(1), run(8)
-	if a.Checksum != b.Checksum || a.Components != b.Components || a.Phases != b.Phases {
-		t.Fatalf("result diverged: %d/%x/%d vs %d/%x/%d",
-			a.Components, a.Checksum, a.Phases, b.Components, b.Checksum, b.Phases)
+	if res.Checksum != ref.Checksum || res.Components != ref.Count {
+		t.Fatalf("trimmed run diverged from reference: %d/%x vs %d/%x",
+			res.Components, res.Checksum, ref.Count, ref.Checksum)
 	}
-	ra, rb := a.Report, b.Report
-	if ra.NumRounds() != rb.NumRounds() {
-		t.Fatalf("round counts diverged: %d vs %d", ra.NumRounds(), rb.NumRounds())
-	}
-	for i := range ra.Rounds {
-		if ra.Rounds[i].Cost != rb.Rounds[i].Cost || ra.Rounds[i].Elements != rb.Rounds[i].Elements {
-			t.Fatalf("round %d diverged: cost %v/%v elements %d/%d", i,
-				ra.Rounds[i].Cost, rb.Rounds[i].Cost, ra.Rounds[i].Elements, rb.Rounds[i].Elements)
-		}
+	snap := reg.Snapshot()
+	if trims := snap["graph.cc.scratch_trims"]; trims < 1 {
+		t.Fatalf("graph.cc.scratch_trims = %v, want >= 1 (no scratch released during contraction)", trims)
 	}
 }
 

@@ -289,8 +289,10 @@ func (pr *proto) adjacency() {
 		sc.k1s = ks
 		pr.emitPacked(i, out, tagAdj, ks)
 	})
-	for i, v := range pr.nodes {
-		ib := pr.e.Inbox(v)
+	// Adjacency keys route to the high label's home, so shard i only
+	// registers labels and folds known-sets homed at node i.
+	pr.pool.ForEach("ccfast adjacency receipt", len(pr.nodes), func(i int) {
+		ib := pr.e.Inbox(pr.nodes[i])
 		for mi := 0; mi < ib.Len(); mi++ {
 			m := ib.At(mi)
 			if m.Tag != tagAdj {
@@ -320,13 +322,11 @@ func (pr *proto) adjacency() {
 				}
 			}
 		}
-	}
-	if first {
-		for i := range pr.nodes {
+		if first {
 			pr.homedVerts[i], pr.scr[i].ndtmp = radixSortInt32(pr.homedVerts[i], pr.scr[i].ndtmp)
 			pr.aliveList[i], pr.scr[i].ndtmp = radixSortInt32(pr.aliveList[i], pr.scr[i].ndtmp)
 		}
-	}
+	})
 }
 
 // planVolume totals the keys the next doubling round would send, exactly
@@ -334,45 +334,57 @@ func (pr *proto) adjacency() {
 func (pr *proto) planVolume() int64 {
 	fs := pr.fs
 	cur := fs.dblStamp
+	// Pure read of the per-home sets; per-shard subtotals merge in shard
+	// order, so the total is worker-count-invariant.
+	return pr.pool.Sum("ccfast plan volume", len(pr.nodes), func(_, lo, hi int) int64 {
+		var vol int64
+		for i := lo; i < hi; i++ {
+			vol += pr.planVolumeAt(i, cur)
+		}
+		return vol
+	})
+}
+
+// planVolumeAt totals the keys node i would send next doubling round.
+func (pr *proto) planVolumeAt(i int, cur int32) int64 {
+	fs := pr.fs
 	var vol int64
-	for i := range pr.nodes {
-		for _, a := range pr.aliveList[i] {
-			if fs.changedAt[a] != cur {
+	for _, a := range pr.aliveList[i] {
+		if fs.changedAt[a] != cur {
+			continue
+		}
+		s := fs.knowSpan(a, pr.phase)
+		base := int(a) * int(fs.b)
+		st := fs.newAt[base : base+len(s)]
+		for rank, u := range s {
+			if rank > 0 && !fs.leader[u] {
 				continue
 			}
-			s := fs.knowSpan(a, pr.phase)
-			base := int(a) * int(fs.b)
-			st := fs.newAt[base : base+len(s)]
-			for rank, u := range s {
-				if rank > 0 && !fs.leader[u] {
-					continue
+			if st[rank] == cur {
+				items := rank
+				if a < u {
+					items++
 				}
-				if st[rank] == cur {
-					items := rank
-					if a < u {
-						items++
-					}
-					vol += int64(items)
-					continue
-				}
-				for _, xs := range st[:rank] {
-					if xs == cur {
-						vol++
-					}
+				vol += int64(items)
+				continue
+			}
+			for _, xs := range st[:rank] {
+				if xs == cur {
+					vol++
 				}
 			}
-			if fs.evictAt[a] == cur {
-				gx := int32(-1)
-				for r2, x := range s {
-					if st[r2] == cur {
-						gx = x
-						break
-					}
+		}
+		if fs.evictAt[a] == cur {
+			gx := int32(-1)
+			for r2, x := range s {
+				if st[r2] == cur {
+					gx = x
+					break
 				}
-				for _, u := range fs.evictBuf[base : base+int(fs.evictLen[a])] {
-					if u < a && gx >= 0 && gx < u {
-						vol++
-					}
+			}
+			for _, u := range fs.evictBuf[base : base+int(fs.evictLen[a])] {
+				if u < a && gx >= 0 && gx < u {
+					vol++
 				}
 			}
 		}
@@ -445,22 +457,27 @@ func (pr *proto) double() int {
 		pr.emitPacked(i, out, tagKnow, ks)
 	})
 	fs.dblStamp++
-	changed := 0
-	for _, v := range pr.nodes {
-		ib := pr.e.Inbox(v)
-		for mi := 0; mi < ib.Len(); mi++ {
-			m := ib.At(mi)
-			if m.Tag != tagKnow {
-				continue
-			}
-			for _, k := range m.Keys {
-				if fs.knowInsert(int32(k>>32), int32(uint32(k)), pr.phase) {
-					changed++
+	// Pushed keys route to the high label's home, so knowInsert only
+	// touches sets homed at the receiving shard; per-home arrival order is
+	// the inbox order either way, so the folds are worker-count-invariant.
+	return int(pr.pool.Sum("ccfast double receipt", len(pr.nodes), func(_, lo, hi int) int64 {
+		var changed int64
+		for i := lo; i < hi; i++ {
+			ib := pr.e.Inbox(pr.nodes[i])
+			for mi := 0; mi < ib.Len(); mi++ {
+				m := ib.At(mi)
+				if m.Tag != tagKnow {
+					continue
+				}
+				for _, k := range m.Keys {
+					if fs.knowInsert(int32(k>>32), int32(uint32(k)), pr.phase) {
+						changed++
+					}
 				}
 			}
 		}
-	}
-	return changed
+		return changed
+	}))
 }
 
 // emitPacked groups packed (hi-label routed) keys by the home of the high
@@ -501,7 +518,7 @@ func compactUint64(ks []uint64) []uint64 {
 // the Borůvka min-neighbor proposal.
 func (pr *proto) proposeFromKnow() {
 	fs := pr.fs
-	for i := range pr.nodes {
+	pr.pool.ForEach("ccfast propose", len(pr.nodes), func(i int) {
 		for _, a := range pr.aliveList[i] {
 			if s := fs.knowSpan(a, pr.phase); len(s) > 0 {
 				pr.bestAt[a] = pr.phase
@@ -509,7 +526,7 @@ func (pr *proto) proposeFromKnow() {
 				pr.bestW[a] = 0
 			}
 		}
-	}
+	})
 }
 
 // pushRoots closes the phase in a single round: every home pushes each
@@ -554,24 +571,25 @@ func (pr *proto) pushRoots() {
 // endpoint labels plus homed vertex labels — for the Combine lookup path,
 // without the proposal pre-combining of collectNext (fast phases rebuild
 // known-sets from a fresh adjacency round instead).
-func (pr *proto) collectNeedsFast(i int) {
+func (pr *proto) collectNeedsFast(i int, ws *collectScratch) {
 	sc := &pr.scr[i]
-	pr.dstamp++
-	nst := pr.dstamp
+	ws.ensure(len(pr.label))
+	ws.dstamp++
+	nst := ws.dstamp
 	nd := sc.nextNeed[:0]
 	for _, ed := range pr.active[i] {
-		if pr.seenAt[ed.a] != nst {
-			pr.seenAt[ed.a] = nst
+		if ws.seenAt[ed.a] != nst {
+			ws.seenAt[ed.a] = nst
 			nd = append(nd, ed.a)
 		}
-		if pr.seenAt[ed.b] != nst {
-			pr.seenAt[ed.b] = nst
+		if ws.seenAt[ed.b] != nst {
+			ws.seenAt[ed.b] = nst
 			nd = append(nd, ed.b)
 		}
 	}
 	for _, v := range pr.homedVerts[i] {
-		if r := pr.label[v]; pr.seenAt[r] != nst {
-			pr.seenAt[r] = nst
+		if r := pr.label[v]; ws.seenAt[r] != nst {
+			ws.seenAt[r] = nst
 			nd = append(nd, r)
 		}
 	}
@@ -691,9 +709,12 @@ func runFast(tr *topology.Tree, edges Placement, seed uint64, tune FastTuning, o
 			return nil, err
 		}
 		if len(pr.steps) > 0 {
-			for i := range pr.nodes {
-				pr.collectNeedsFast(i)
-			}
+			pr.pool.Blocks("ccfast collect needs", len(pr.nodes), func(shard, lo, hi int) {
+				ws := &pr.wscr[shard]
+				for i := lo; i < hi; i++ {
+					pr.collectNeedsFast(i, ws)
+				}
+			})
 			pr.lookups()
 		} else {
 			pr.pushRoots()

@@ -91,7 +91,24 @@ func (ib *nodeInbox) push(from topology.NodeID, tag Tag, keys []uint64) {
 	ib.end = append(ib.end, int32(len(ib.pool)))
 }
 
+// inboxShrinkMin is the pool capacity (keys) below which an inbox is never
+// shrunk; small pools are noise and reallocating them would only churn.
+const inboxShrinkMin = 1 << 16
+
 func (ib *nodeInbox) reset() {
+	// Contraction-style protocols decay from a large first-phase volume to
+	// near nothing; halve a pool whose last round used at most a quarter of
+	// its capacity so the key pools step down with the traffic instead of
+	// pinning the peak to the end of the run. Halving (not trimming to fit)
+	// keeps the reallocation geometric, and the trigger depends only on
+	// delivered volume, so it is identical for every worker count.
+	if c := cap(ib.pool); c >= inboxShrinkMin && len(ib.pool) <= c/4 {
+		ib.pool = make([]uint64, 0, c/2)
+		ib.from = make([]topology.NodeID, 0, cap(ib.from)/2)
+		ib.tag = make([]Tag, 0, cap(ib.tag)/2)
+		ib.end = make([]int32, 0, cap(ib.end)/2)
+		return
+	}
 	ib.from = ib.from[:0]
 	ib.tag = ib.tag[:0]
 	ib.end = ib.end[:0]
@@ -175,6 +192,10 @@ type Engine struct {
 	tallyWG sync.WaitGroup // in-flight shard tally workers of one round
 	planWG  sync.WaitGroup // in-flight Plan workers of one call
 	planIdx atomic.Int64   // work-stealing cursor shared by Plan workers
+
+	parOuts []Outbox // Round.Parallel outbox arena, recycled across rounds
+	parWG   sync.WaitGroup
+	parIdx  atomic.Int64 // work-stealing cursor shared by Parallel workers
 
 	// Flight recorder. Both sinks are optional; with neither attached every
 	// hook below reduces to a nil comparison, preserving the zero-alloc
@@ -299,6 +320,18 @@ func (e *Engine) recordRound(slot int, t0 float64) {
 		Ts: t0, Dur: e.tracer.Now() - t0,
 		Pid: obs.Pid, Tid: e.traceTid, Args: args,
 	})
+}
+
+// WorkerBudget reports the engine's resolved worker budget: the
+// WithWorkers value, or GOMAXPROCS when unset. Protocol layers that shard
+// their local compute (the par pool of the graph kernels) size themselves
+// from this, so one -workers flag governs planning, accounting, and
+// per-home computation alike.
+func (e *Engine) WorkerBudget() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // workerCount resolves the goroutine budget for n independent work items.
